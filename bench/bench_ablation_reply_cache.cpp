@@ -1,0 +1,61 @@
+// Ablation: reply-cache locking granularity (§V-D).
+//
+// The paper found the coarse-locked table collapsed under the ClientIO
+// read + ServiceManager write pattern and switched to a fine-grained map.
+// stripes=1 reproduces the coarse design; stripes=64 is what mcsmr ships.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "smr/reply_cache.hpp"
+
+using namespace mcsmr;
+using smr::ReplyCache;
+
+namespace {
+
+// `state.range(0)` = stripes, `state.range(1)` = concurrent reader threads.
+void BM_ReplyCache(benchmark::State& state) {
+  ReplyCache cache(static_cast<std::size_t>(state.range(0)));
+  constexpr int kClients = 4096;
+  for (int c = 0; c < kClients; ++c) {
+    cache.update(static_cast<paxos::ClientId>(c), 1, Bytes(8, 1));
+  }
+
+  std::atomic<bool> stop{false};
+  // Background: the ServiceManager writer plus extra ClientIO readers.
+  std::vector<std::thread> background;
+  background.emplace_back([&] {
+    paxos::RequestSeq seq = 2;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int c = 0; c < 64; ++c) {
+        cache.update(static_cast<paxos::ClientId>(c * 64 % kClients), seq, Bytes(8, 2));
+      }
+      ++seq;
+    }
+  });
+  for (int r = 1; r < state.range(1); ++r) {
+    background.emplace_back([&, r] {
+      std::uint64_t i = static_cast<std::uint64_t>(r) << 20;
+      while (!stop.load(std::memory_order_relaxed)) {
+        benchmark::DoNotOptimize(cache.lookup(i++ % kClients, 1));
+      }
+    });
+  }
+
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(i++ % kClients, 1));
+  }
+  stop.store(true);
+  for (auto& t : background) t.join();
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+
+}  // namespace
+
+BENCHMARK(BM_ReplyCache)
+    ->ArgsProduct({{1, 4, 64}, {1, 2, 4}})
+    ->ArgNames({"stripes", "readers"});
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Ablation: serialization cost. The paper's profiling (§VI-B) shows
+// reading/writing requests — i.e. (de)serialization — is a dominant CPU
+// cost in ClientIO threads, which justifies the parallel IO-thread pool.
+#include <benchmark/benchmark.h>
+
+#include "paxos/messages.hpp"
+#include "smr/client_proto.hpp"
+
+using namespace mcsmr;
+
+namespace {
+
+void BM_EncodeClientRequest(benchmark::State& state) {
+  smr::ClientRequestFrame frame{12345, 678, 2, Bytes(static_cast<std::size_t>(state.range(0)), 0xAB)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smr::encode_client_request(frame));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeClientRequest)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_DecodeClientRequest(benchmark::State& state) {
+  Bytes wire = smr::encode_client_request(
+      smr::ClientRequestFrame{12345, 678, 2, Bytes(static_cast<std::size_t>(state.range(0)), 0xAB)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smr::decode_client_frame(wire));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecodeClientRequest)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_EncodeBatch(benchmark::State& state) {
+  std::vector<paxos::Request> requests;
+  for (int i = 0; i < state.range(0); ++i) {
+    requests.push_back(paxos::Request{static_cast<paxos::ClientId>(i), 1, Bytes(128, 1)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(paxos::encode_batch(requests));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeBatch)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_DecodeBatch(benchmark::State& state) {
+  std::vector<paxos::Request> requests;
+  for (int i = 0; i < state.range(0); ++i) {
+    requests.push_back(paxos::Request{static_cast<paxos::ClientId>(i), 1, Bytes(128, 1)});
+  }
+  Bytes wire = paxos::encode_batch(requests);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(paxos::decode_batch(wire));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecodeBatch)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_EncodePaxosPropose(benchmark::State& state) {
+  paxos::Propose propose{7, 1234, Bytes(1300, 0x77)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(paxos::encode_message(0, paxos::Message{propose}));
+  }
+}
+BENCHMARK(BM_EncodePaxosPropose);
+
+void BM_DecodePaxosPropose(benchmark::State& state) {
+  Bytes wire = paxos::encode_message(0, paxos::Message{paxos::Propose{7, 1234, Bytes(1300, 0x77)}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(paxos::decode_message(wire));
+  }
+}
+BENCHMARK(BM_DecodePaxosPropose);
+
+}  // namespace
+
+BENCHMARK_MAIN();

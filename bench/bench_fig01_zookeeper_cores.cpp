@@ -1,0 +1,69 @@
+// Figure 1 — "Performance of ZooKeeper with increasing number of cores."
+//   (a) throughput vs #cores: scales to ~4 cores (~50K req/s) then
+//       degrades below 30K at 24 cores;
+//   (b) per-thread CPU state at the leader with 24 cores: heavy blocked
+//       time, CommitProcessor saturated.
+//
+// [model] series: calibrated baseline (global-lock) model, 1..24 cores.
+// [real] rows: the from-scratch ZooKeeper-like replica actually running on
+// this host (as many cores as it has).
+#include "harness.hpp"
+#include "sim/model.hpp"
+
+using namespace mcsmr;
+
+int main() {
+  bench::print_header("Figure 1a: ZooKeeper-like baseline throughput vs cores");
+  sim::ZkModel model;
+  std::printf("  %-6s %14s %10s  %s\n", "cores", "req/s [model]", "speedup", "bottleneck");
+  sim::ModelInput input;
+  const double x1 = model.evaluate(input).throughput_rps;
+  for (int cores : bench::sweep_cores(24)) {
+    input.cores = cores;
+    const auto out = model.evaluate(input);
+    std::printf("  %-6d %14.0f %10.2f  %s\n", cores, out.throughput_rps,
+                out.throughput_rps / x1, out.bottleneck.c_str());
+  }
+
+  const int host = hardware_cores();
+  std::printf("\n  [real] baseline replica on this host (%d cores):\n", host);
+  std::printf("  %-6s %14s %10s %12s\n", "cores", "req/s [real]", "CPU(cores)",
+              "blocked(cores)");
+  for (int cores = 1; cores <= host; ++cores) {
+    bench::RealRunParams params;
+    params.baseline = true;
+    params.cores = cores;
+    params.net.node_pps = 0;  // CPU-bound region: the NIC must not bind
+    params.net.node_bandwidth_bps = 0;
+    params.swarm_workers = 2;
+    params.clients_per_worker = 60;
+    const auto result = bench::run_real(params);
+    std::printf("  %-6d %14.0f %10.2f %12.2f\n", cores, result.throughput_rps,
+                result.total_cpu_cores, result.total_blocked_cores);
+  }
+
+  bench::print_header("Figure 1b: per-thread state at the baseline leader");
+  {
+    bench::RealRunParams params;
+    params.baseline = true;
+    params.cores = host;
+    params.net.node_pps = 0;
+    params.net.node_bandwidth_bps = 0;
+    params.swarm_workers = 2;
+    params.clients_per_worker = 60;
+    const auto result = bench::run_real(params);
+    std::printf("  [real, %d cores]\n", host);
+    bench::print_thread_table(result.leader_threads);
+  }
+  {
+    input.cores = 24;
+    const auto out = model.evaluate(input);
+    std::printf("\n  [model, 24 cores] busy fractions (blocked time concentrates on the\n"
+                "  global lock: aggregate %.0f%% of one core):\n",
+                100.0 * out.total_blocked_cores);
+    for (const auto& [name, busy] : out.thread_busy_frac) {
+      std::printf("  %-24s %6.1f%%\n", name.c_str(), 100.0 * busy);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 4 — "JPaxos performance with increasing number of cores"
+// (parapluie cluster, n=3 and n=5): (a) throughput, (b) speedup.
+//
+// Paper shape: n=3 linear to ~6 cores, ~6.5x speedup by 12 cores where the
+// leader NIC saturates (~100K req/s), flat to 24; n=5 peaks lower (~5.5x).
+//
+// Pass --calibrate to derive the model's stage demands from a live run of
+// the real implementation on this host instead of the paper-shape
+// defaults.
+#include <cstring>
+
+#include "harness.hpp"
+#include "sim/calibration.hpp"
+#include "sim/model.hpp"
+
+using namespace mcsmr;
+
+int main(int argc, char** argv) {
+  sim::SmrModel model;
+  if (argc > 1 && std::strcmp(argv[1], "--calibrate") == 0) {
+    std::printf("calibrating stage demands from a live run...\n");
+    auto calibration = sim::calibrate_smr();
+    if (calibration.ok) {
+      model.profile() = calibration.profile;
+      std::printf("  measured %.0f req/s; clientio=%.0fns batcher=%.0fns exec=%.0fns\n",
+                  calibration.measured_throughput_rps, calibration.profile.clientio_ns,
+                  calibration.profile.batcher_ns, calibration.profile.replica_exec_ns);
+    } else {
+      std::printf("  calibration failed; using paper-shape defaults\n");
+    }
+  }
+
+  bench::print_header("Figure 4: throughput & speedup vs cores (parapluie, n=3 and n=5)");
+  std::printf("  %-6s | %14s %8s | %14s %8s | %s\n", "cores", "n=3 req/s", "speedup",
+              "n=5 req/s", "speedup", "bottleneck(n=3) [model]");
+  sim::ModelInput n3;
+  sim::ModelInput n5;
+  n5.n = 5;
+  const double x1_n3 = model.evaluate(n3).throughput_rps;
+  const double x1_n5 = model.evaluate(n5).throughput_rps;
+  for (int cores : bench::sweep_cores(24)) {
+    n3.cores = cores;
+    n5.cores = cores;
+    const auto out3 = model.evaluate(n3);
+    const auto out5 = model.evaluate(n5);
+    std::printf("  %-6d | %14.0f %8.2f | %14.0f %8.2f | %s\n", cores, out3.throughput_rps,
+                out3.throughput_rps / x1_n3, out5.throughput_rps,
+                out5.throughput_rps / x1_n5, out3.bottleneck.c_str());
+  }
+
+  const int host = hardware_cores();
+  std::printf("\n  [real] full threaded implementation on this host:\n");
+  std::printf("  %-6s %4s %14s %10s\n", "cores", "n", "req/s [real]", "CPU(cores)");
+  for (int n : {3, 5}) {
+    for (int cores = 1; cores <= host; ++cores) {
+      bench::RealRunParams params;
+      params.config.n = n;
+      params.cores = cores;
+      params.net.node_pps = 0;  // CPU-bound region on this host
+      params.net.node_bandwidth_bps = 0;
+      params.swarm_workers = 2;
+      params.clients_per_worker = 80;
+      const auto result = bench::run_real(params);
+      std::printf("  %-6d %4d %14.0f %10.2f\n", cores, n, result.throughput_rps,
+                  result.total_cpu_cores);
+    }
+  }
+  return 0;
+}

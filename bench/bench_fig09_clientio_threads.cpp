@@ -1,0 +1,41 @@
+// Figure 9 — "Varying the number of ClientIO threads" at full cores:
+// (a) throughput, (b) total CPU utilisation at the leader.
+//
+// Paper shape: 1 thread chokes (~40K); ~4 threads peak (>100K, CPU ~550%);
+// beyond ~8 threads both throughput and CPU *decline* slightly (the paper
+// traces this to kernel TCP-stack scalability, not to JVM locks).
+#include "harness.hpp"
+#include "sim/model.hpp"
+
+using namespace mcsmr;
+
+int main() {
+  bench::print_header("Figure 9 [model]: sweep ClientIO threads at 24 cores");
+  sim::SmrModel model;
+  std::printf("  %-10s %14s %14s  %s\n", "io-threads", "req/s", "CPU (%1core)", "bottleneck");
+  for (int threads : {1, 2, 3, 4, 6, 8, 10, 12, 16, 20, 24}) {
+    sim::ModelInput input;
+    input.cores = 24;
+    input.clientio_threads = threads;
+    const auto out = model.evaluate(input);
+    std::printf("  %-10d %14.0f %14.0f  %s\n", threads, out.throughput_rps,
+                100.0 * out.total_cpu_cores, out.bottleneck.c_str());
+  }
+
+  const int host = hardware_cores();
+  bench::print_header("Figure 9 [real]: sweep ClientIO threads on this host");
+  std::printf("  %-10s %14s %14s\n", "io-threads", "req/s", "CPU (%1core)");
+  for (int threads : {1, 2, 3, 4}) {
+    bench::RealRunParams params;
+    params.cores = host;
+    params.config.client_io_threads = threads;
+    params.net.node_pps = 0;
+    params.net.node_bandwidth_bps = 0;
+    params.swarm_workers = 2;
+    params.clients_per_worker = 80;
+    const auto result = bench::run_real(params);
+    std::printf("  %-10d %14.0f %14.0f\n", threads, result.throughput_rps,
+                100.0 * result.total_cpu_cores);
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 12 — "JPaxos vs ZooKeeper with increasing number of cores":
+// throughput and speedup of both architectures side by side, n=3.
+//
+// Paper shape: comparable at 1-2 cores; ZooKeeper peaks at 4 cores and
+// collapses; JPaxos keeps climbing to the NIC limit (~100K vs <30K at 24).
+#include "harness.hpp"
+#include "sim/model.hpp"
+
+using namespace mcsmr;
+
+int main() {
+  bench::print_header("Figure 12 [model]: mcsmr vs ZooKeeper-like baseline, n=3");
+  sim::SmrModel smr_model;
+  sim::ZkModel zk_model;
+  sim::ModelInput input;
+  const double smr_x1 = smr_model.evaluate(input).throughput_rps;
+  const double zk_x1 = zk_model.evaluate(input).throughput_rps;
+  std::printf("  %-6s | %14s %8s | %14s %8s | %8s\n", "cores", "mcsmr req/s", "speedup",
+              "zk req/s", "speedup", "ratio");
+  for (int cores : bench::sweep_cores(24)) {
+    input.cores = cores;
+    const auto smr_out = smr_model.evaluate(input);
+    const auto zk_out = zk_model.evaluate(input);
+    std::printf("  %-6d | %14.0f %8.2f | %14.0f %8.2f | %8.2f\n", cores,
+                smr_out.throughput_rps, smr_out.throughput_rps / smr_x1,
+                zk_out.throughput_rps, zk_out.throughput_rps / zk_x1,
+                smr_out.throughput_rps / zk_out.throughput_rps);
+  }
+
+  const int host = hardware_cores();
+  bench::print_header("Figure 12 [real] on this host");
+  std::printf("  %-6s %14s %14s\n", "cores", "mcsmr req/s", "zk req/s");
+  for (int cores = 1; cores <= host; ++cores) {
+    bench::RealRunParams params;
+    params.cores = cores;
+    params.net.node_pps = 0;
+    params.net.node_bandwidth_bps = 0;
+    params.swarm_workers = 2;
+    params.clients_per_worker = 60;
+    const auto smr_result = bench::run_real(params);
+    params.baseline = true;
+    const auto zk_result = bench::run_real(params);
+    std::printf("  %-6d %14.0f %14.0f\n", cores, smr_result.throughput_rps,
+                zk_result.throughput_rps);
+  }
+  return 0;
+}

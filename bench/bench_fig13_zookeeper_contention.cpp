@@ -1,0 +1,42 @@
+// Figure 13 — "ZooKeeper cpu usage and contention": the baseline's total
+// CPU and aggregate lock-blocked time vs cores, n=3.
+//
+// Paper shape: the leader's blocked time exceeds 100% of a core at high
+// core counts; CPU keeps rising after throughput peaks — the extra cycles
+// are burned on contention, not work (contrast with bench_fig05).
+#include "harness.hpp"
+#include "sim/model.hpp"
+
+using namespace mcsmr;
+
+int main() {
+  bench::print_header("Figure 13 [model]: baseline CPU & contention vs cores");
+  sim::ZkModel model;
+  std::printf("  %-6s %14s %14s %18s\n", "cores", "req/s", "CPU (%1core)",
+              "blocked (%1core)");
+  sim::ModelInput input;
+  for (int cores : bench::sweep_cores(24)) {
+    input.cores = cores;
+    const auto out = model.evaluate(input);
+    std::printf("  %-6d %14.0f %14.0f %18.0f\n", cores, out.throughput_rps,
+                100.0 * out.total_cpu_cores, 100.0 * out.total_blocked_cores);
+  }
+
+  const int host = hardware_cores();
+  bench::print_header("Figure 13 [real] baseline on this host");
+  std::printf("  %-6s %14s %14s %18s\n", "cores", "req/s", "CPU (%1core)",
+              "blocked (%1core)");
+  for (int cores = 1; cores <= host; ++cores) {
+    bench::RealRunParams params;
+    params.baseline = true;
+    params.cores = cores;
+    params.net.node_pps = 0;
+    params.net.node_bandwidth_bps = 0;
+    params.swarm_workers = 2;
+    params.clients_per_worker = 60;
+    const auto result = bench::run_real(params);
+    std::printf("  %-6d %14.0f %14.0f %18.1f\n", cores, result.throughput_rps,
+                100.0 * result.total_cpu_cores, 100.0 * result.total_blocked_cores);
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Failover demonstration: the leader is killed mid-workload; the failure
+// detector suspects it, the next replica runs Phase 1, inherits every
+// decided and in-flight instance, and clients (which retry with the same
+// sequence numbers) resume — with no request executed twice.
+//
+//   $ ./example_failover
+#include <cstdio>
+#include <thread>
+
+#include "net/simnet.hpp"
+#include "smr/client.hpp"
+#include "smr/replica.hpp"
+
+using namespace mcsmr;
+
+int main() {
+  net::SimNetwork network;
+  Config config;
+  config.fd_suspect_timeout_ns = 300 * kMillis;  // brisk failover for the demo
+  std::vector<net::NodeId> nodes;
+  for (int id = 0; id < config.n; ++id) {
+    nodes.push_back(network.add_node("replica-" + std::to_string(id)));
+  }
+  std::vector<std::unique_ptr<smr::Replica>> replicas;
+  for (int id = 0; id < config.n; ++id) {
+    replicas.push_back(smr::Replica::create_sim(config, static_cast<ReplicaId>(id), network,
+                                                nodes, std::make_unique<smr::KvService>()));
+  }
+  for (auto& replica : replicas) replica->start();
+
+  smr::SimClient client(network, nodes, 1, config.client_io_threads);
+
+  std::printf("phase 1: 200 writes through leader (replica 0)\n");
+  for (int i = 0; i < 200; ++i) {
+    client.call(smr::KvService::make_put("counter", Bytes{static_cast<std::uint8_t>(i)}));
+  }
+  std::printf("  leader=replica %d, replica0 executed=%llu\n",
+              replicas[0]->is_leader() ? 0 : -1,
+              static_cast<unsigned long long>(replicas[0]->executed_requests()));
+
+  std::printf("phase 2: killing the leader...\n");
+  replicas[0]->stop();
+
+  const StopWatch failover_watch;
+  std::printf("phase 3: client keeps writing (retries ride out the election)\n");
+  for (int i = 200; i < 400; ++i) {
+    if (!client.call(smr::KvService::make_put("counter", Bytes{static_cast<std::uint8_t>(i)}))) {
+      std::fprintf(stderr, "write %d failed outright\n", i);
+      return 1;
+    }
+  }
+  std::printf("  service restored and 200 more writes done %.2fs after the crash\n",
+              failover_watch.elapsed_s());
+
+  for (int id = 1; id < config.n; ++id) {
+    std::printf("  replica %d: leader=%s view=%llu executed=%llu\n", id,
+                replicas[static_cast<std::size_t>(id)]->is_leader() ? "yes" : "no",
+                static_cast<unsigned long long>(replicas[static_cast<std::size_t>(id)]->view()),
+                static_cast<unsigned long long>(
+                    replicas[static_cast<std::size_t>(id)]->executed_requests()));
+  }
+
+  auto final_value = client.call(smr::KvService::make_get("counter"));
+  std::printf("final counter value: %d (expect 143 == 399 mod 256)\n",
+              static_cast<int>((*smr::KvService::parse_reply(*final_value))[0]));
+
+  for (int id = 1; id < config.n; ++id) replicas[static_cast<std::size_t>(id)]->stop();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// A Chubby-style replicated lock service — the "lock server" workload the
+// paper's introduction motivates (small requests, coordination-service
+// semantics).
+//
+//   $ ./example_lock_service
+//
+// Eight contending workers race to hold a named lock; the replicated
+// LockService arbitrates and hands out monotonically increasing fencing
+// tokens, so the output shows strict mutual exclusion and token ordering
+// even though workers run concurrently against a 3-replica cluster.
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/simnet.hpp"
+#include "smr/client.hpp"
+#include "smr/replica.hpp"
+
+using namespace mcsmr;
+
+int main() {
+  net::SimNetwork network;
+  Config config;
+  std::vector<net::NodeId> nodes;
+  for (int id = 0; id < config.n; ++id) {
+    nodes.push_back(network.add_node("replica-" + std::to_string(id)));
+  }
+  std::vector<std::unique_ptr<smr::Replica>> replicas;
+  for (int id = 0; id < config.n; ++id) {
+    replicas.push_back(smr::Replica::create_sim(config, static_cast<ReplicaId>(id), network,
+                                                nodes, std::make_unique<smr::LockService>()));
+  }
+  for (auto& replica : replicas) replica->start();
+
+  constexpr int kWorkers = 8;
+  constexpr int kRoundsEach = 5;
+  std::atomic<int> inside_critical_section{0};
+  std::atomic<std::uint64_t> last_fencing_token{0};
+  std::atomic<bool> violation{false};
+  std::mutex print_mu;
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      smr::SimClient client(network, nodes, static_cast<paxos::ClientId>(100 + w),
+                            config.client_io_threads);
+      const std::uint64_t owner = static_cast<std::uint64_t>(100 + w);
+      for (int round = 0; round < kRoundsEach;) {
+        auto reply = client.call(smr::LockService::make_acquire("the-lock", owner));
+        if (!reply.has_value()) continue;
+        auto grant = smr::LockService::parse_acquire_reply(*reply);
+        if (!grant.granted) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          continue;  // somebody else holds it; spin politely
+        }
+
+        // --- critical section -------------------------------------------
+        if (inside_critical_section.fetch_add(1) != 0) violation.store(true);
+        const std::uint64_t prev = last_fencing_token.exchange(grant.fencing_token);
+        if (grant.fencing_token <= prev) violation.store(true);
+        {
+          std::lock_guard<std::mutex> guard(print_mu);
+          std::printf("worker %d holds the-lock (fencing token %llu)\n", w,
+                      static_cast<unsigned long long>(grant.fencing_token));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        inside_critical_section.fetch_sub(1);
+        // -----------------------------------------------------------------
+
+        client.call(smr::LockService::make_release("the-lock", owner));
+        ++round;
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  std::printf("\n%d workers x %d rounds completed, mutual exclusion %s\n", kWorkers,
+              kRoundsEach, violation.load() ? "VIOLATED (bug!)" : "preserved");
+  std::printf("final fencing token: %llu (== total grants: strictly increasing)\n",
+              static_cast<unsigned long long>(last_fencing_token.load()));
+
+  for (auto& replica : replicas) replica->stop();
+  return violation.load() ? 1 : 0;
+}

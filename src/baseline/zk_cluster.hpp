@@ -1,0 +1,58 @@
+// Convenience wiring for a SimNet cluster of baseline (ZooKeeper-like)
+// replicas — used by tests and the Fig 1/12/13/14 benches.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baseline/zk_replica.hpp"
+#include "common/clock.hpp"
+#include "net/simnet.hpp"
+
+namespace mcsmr::baseline {
+
+class ZkCluster {
+ public:
+  using ServiceFactory = std::function<std::unique_ptr<Service>()>;
+
+  ZkCluster(Config config, net::SimNetwork& net, ZkParams params = {},
+            ServiceFactory factory = [] { return std::make_unique<smr::NullService>(); })
+      : config_(config) {
+    for (int id = 0; id < config_.n; ++id) {
+      nodes_.push_back(net.add_node("zk-replica-" + std::to_string(id)));
+    }
+    for (int id = 0; id < config_.n; ++id) {
+      replicas_.push_back(ZkReplica::create_sim(config_, static_cast<ReplicaId>(id), net,
+                                                nodes_, factory(), params));
+    }
+  }
+
+  void start() {
+    for (auto& replica : replicas_) replica->start();
+  }
+  void stop() {
+    for (auto& replica : replicas_) replica->stop();
+  }
+
+  std::optional<ReplicaId> wait_for_leader(std::uint64_t timeout_ns = 5 * kSeconds) {
+    const std::uint64_t deadline = mono_ns() + timeout_ns;
+    while (mono_ns() < deadline) {
+      for (auto& replica : replicas_) {
+        if (replica->is_leader()) return replica->id();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return std::nullopt;
+  }
+
+  const std::vector<net::NodeId>& nodes() const { return nodes_; }
+  ZkReplica& replica(ReplicaId id) { return *replicas_[id]; }
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::vector<net::NodeId> nodes_;
+  std::vector<std::unique_ptr<ZkReplica>> replicas_;
+};
+
+}  // namespace mcsmr::baseline

@@ -1,0 +1,48 @@
+// Calibrated CPU burner.
+//
+// Simulated per-stage work (baseline pipeline costs, calibration probes)
+// must consume a precise amount of CPU. CLOCK_THREAD_CPUTIME_ID cannot be
+// used inside the loop: on some hosts/VMs it ticks at 10 ms granularity,
+// which would turn a 4 us burn into a 10 ms one. Instead we calibrate the
+// spin-loop rate once against the monotonic clock and burn by iteration
+// count thereafter.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.hpp"
+
+namespace mcsmr {
+
+namespace detail {
+inline std::uint64_t spin_chunk(std::uint64_t iterations) {
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < iterations; ++i) sink = sink + i * 31 + 7;
+  return sink;
+}
+
+/// Iterations of spin_chunk's body per microsecond, measured once.
+inline std::uint64_t iterations_per_us() {
+  static const std::uint64_t calibrated = [] {
+    // Warm up, then time a fixed batch against the wall clock.
+    spin_chunk(100'000);
+    const std::uint64_t batch = 2'000'000;
+    const std::uint64_t start = mono_ns();
+    spin_chunk(batch);
+    const std::uint64_t elapsed = mono_ns() - start;
+    if (elapsed == 0) return static_cast<std::uint64_t>(1000);
+    const std::uint64_t per_us = batch * 1000 / elapsed;
+    return per_us == 0 ? 1 : per_us;
+  }();
+  return calibrated;
+}
+}  // namespace detail
+
+/// Burn approximately `ns` of CPU on the calling thread.
+inline void burn_cpu_ns(std::uint64_t ns) {
+  const std::uint64_t iterations = detail::iterations_per_us() * ns / 1000;
+  detail::spin_chunk(iterations == 0 ? 1 : iterations);
+}
+
+}  // namespace mcsmr

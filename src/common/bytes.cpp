@@ -1,0 +1,14 @@
+#include "common/bytes.hpp"
+
+namespace mcsmr {
+
+void ByteWriter::patch_u32(std::size_t offset, std::uint32_t v) {
+  if (offset + 4 > buf_.size()) {
+    throw std::out_of_range("patch_u32 past end of buffer");
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    buf_[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+}  // namespace mcsmr

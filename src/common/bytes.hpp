@@ -1,0 +1,177 @@
+// Binary serialization primitives.
+//
+// All wire formats in mcsmr (Paxos messages, client requests/replies,
+// framing) are built on the fixed-width little-endian codec below. The
+// codec is intentionally dependency-free and allocation-conscious:
+// ByteWriter appends into a caller-owned (or internally grown) buffer,
+// ByteReader is a non-owning cursor over a span of bytes.
+//
+// The paper's profiling (§VI-B) shows (de)serialization is a dominant CPU
+// cost in ClientIO threads, so these routines are kept branch-light and
+// inline-friendly; `bench_ablation_serde` measures them.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcsmr {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Error thrown by ByteReader when the input is truncated or malformed.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends fixed-width little-endian values to a growable byte buffer.
+///
+/// The writer owns its buffer by default; `take()` moves it out. A typical
+/// message encoder reserves an upper bound up front and writes fields in
+/// order. All integer widths are explicit at call sites (u8/u16/u32/u64)
+/// so the wire format is self-documenting.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    append_le(bits);
+  }
+
+  /// Raw bytes, no length prefix (caller is responsible for framing).
+  void raw(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+  void raw(std::span<const std::uint8_t> bytes) { raw(bytes.data(), bytes.size()); }
+
+  /// Length-prefixed (u32) byte string.
+  void bytes(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    raw(b);
+  }
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& view() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+  /// Patch a previously written u32 at `offset` (used for frame lengths).
+  void patch_u32(std::size_t offset, std::uint32_t v);
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    std::uint8_t tmp[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      tmp[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    buf_.insert(buf_.end(), tmp, tmp + sizeof(T));
+  }
+
+  Bytes buf_;
+};
+
+/// Non-owning cursor that decodes values written by ByteWriter.
+///
+/// Every accessor throws DecodeError on truncation, so callers never read
+/// past the end of a frame; a malformed peer message is rejected as a unit.
+class ByteReader {
+ public:
+  ByteReader(const void* data, std::size_t len)
+      : p_(static_cast<const std::uint8_t*>(data)), end_(p_ + len) {}
+  explicit ByteReader(std::span<const std::uint8_t> bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+  explicit ByteReader(const Bytes& bytes) : ByteReader(bytes.data(), bytes.size()) {}
+
+  std::uint8_t u8() { return take_le<std::uint8_t>(); }
+  std::uint16_t u16() { return take_le<std::uint16_t>(); }
+  std::uint32_t u32() { return take_le<std::uint32_t>(); }
+  std::uint64_t u64() { return take_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(take_le<std::uint64_t>()); }
+  double f64() {
+    std::uint64_t bits = take_le<std::uint64_t>();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  /// Length-prefixed byte string; copies into a fresh vector.
+  Bytes bytes() {
+    std::uint32_t n = u32();
+    auto s = raw(n);
+    return Bytes(s.begin(), s.end());
+  }
+
+  /// Length-prefixed byte string as a non-owning view into the input.
+  std::span<const std::uint8_t> bytes_view() {
+    std::uint32_t n = u32();
+    return raw(n);
+  }
+
+  std::string str() {
+    std::uint32_t n = u32();
+    auto s = raw(n);
+    return std::string(reinterpret_cast<const char*>(s.data()), s.size());
+  }
+
+  /// Raw span of exactly `n` bytes.
+  std::span<const std::uint8_t> raw(std::size_t n) {
+    require(n);
+    std::span<const std::uint8_t> out(p_, n);
+    p_ += n;
+    return out;
+  }
+
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+  bool at_end() const { return p_ == end_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (remaining() < n) {
+      throw DecodeError("truncated input: need " + std::to_string(n) + " bytes, have " +
+                        std::to_string(remaining()));
+    }
+  }
+
+  template <typename T>
+  T take_le() {
+    require(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(p_[i]) << (8 * i)));
+    }
+    p_ += sizeof(T);
+    return v;
+  }
+
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+};
+
+/// Convenience: copy a span into an owned Bytes vector.
+inline Bytes to_bytes(std::span<const std::uint8_t> s) { return Bytes(s.begin(), s.end()); }
+
+/// Convenience: view a string's bytes.
+inline std::span<const std::uint8_t> as_span(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+}  // namespace mcsmr

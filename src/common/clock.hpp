@@ -1,0 +1,57 @@
+// Time sources.
+//
+// Two clocks are used throughout mcsmr, mirroring the paper's measurement
+// methodology (§VI): a monotonic wall clock for latencies/timeouts and the
+// per-thread CPU clock (CLOCK_THREAD_CPUTIME_ID) for the "busy" component
+// of per-thread state accounting (Figs 1b, 8, 14).
+#pragma once
+
+#include <time.h>
+
+#include <cstdint>
+
+namespace mcsmr {
+
+/// Monotonic wall-clock nanoseconds (CLOCK_MONOTONIC). Never goes backwards.
+inline std::uint64_t mono_ns() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+/// CPU time consumed by the calling thread, in nanoseconds.
+inline std::uint64_t thread_cpu_ns() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+/// CPU time consumed by the whole process (all threads), in nanoseconds.
+/// Used for the paper's "Total CPU utilization" plots (Figs 5, 7, 9b, 13a),
+/// where 100% == one core fully busy.
+inline std::uint64_t process_cpu_ns() {
+  timespec ts;
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+/// Simple elapsed-wall-time stopwatch.
+class StopWatch {
+ public:
+  StopWatch() : start_(mono_ns()) {}
+  void reset() { start_ = mono_ns(); }
+  std::uint64_t elapsed_ns() const { return mono_ns() - start_; }
+  double elapsed_s() const { return static_cast<double>(elapsed_ns()) * 1e-9; }
+
+ private:
+  std::uint64_t start_;
+};
+
+constexpr std::uint64_t kMillis = 1'000'000ull;
+constexpr std::uint64_t kMicros = 1'000ull;
+constexpr std::uint64_t kSeconds = 1'000'000'000ull;
+
+}  // namespace mcsmr

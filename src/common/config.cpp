@@ -1,0 +1,57 @@
+#include "common/config.hpp"
+
+#include <stdexcept>
+
+namespace mcsmr {
+
+namespace {
+std::uint64_t parse_u64(const std::string& value) {
+  std::size_t pos = 0;
+  const unsigned long long parsed = std::stoull(value, &pos);
+  if (pos != value.size()) throw std::invalid_argument("trailing characters in: " + value);
+  return parsed;
+}
+}  // namespace
+
+void Config::apply_overrides(const std::map<std::string, std::string>& overrides) {
+  for (const auto& [key, value] : overrides) {
+    if (key == "n") {
+      n = static_cast<int>(parse_u64(value));
+      if (n < 1 || n % 2 == 0) throw std::invalid_argument("n must be odd and >= 1");
+    } else if (key == "window_size" || key == "wnd") {
+      window_size = static_cast<std::uint32_t>(parse_u64(value));
+    } else if (key == "batch_max_bytes" || key == "bsz") {
+      batch_max_bytes = static_cast<std::uint32_t>(parse_u64(value));
+    } else if (key == "batch_timeout_ms") {
+      batch_timeout_ns = parse_u64(value) * 1'000'000ull;
+    } else if (key == "client_io_threads") {
+      client_io_threads = static_cast<int>(parse_u64(value));
+    } else if (key == "request_queue_cap") {
+      request_queue_cap = parse_u64(value);
+    } else if (key == "proposal_queue_cap") {
+      proposal_queue_cap = parse_u64(value);
+    } else if (key == "request_payload_bytes") {
+      request_payload_bytes = parse_u64(value);
+    } else if (key == "reply_payload_bytes") {
+      reply_payload_bytes = parse_u64(value);
+    } else {
+      throw std::invalid_argument("unknown config key: " + key);
+    }
+  }
+}
+
+Config Config::from_args(const std::vector<std::string>& args) {
+  Config config;
+  std::map<std::string, std::string> overrides;
+  for (const auto& arg : args) {
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("expected key=value, got: " + arg);
+    }
+    overrides[arg.substr(0, eq)] = arg.substr(eq + 1);
+  }
+  config.apply_overrides(overrides);
+  return config;
+}
+
+}  // namespace mcsmr

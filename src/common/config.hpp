@@ -1,0 +1,81 @@
+// Cluster and replica configuration.
+//
+// Field defaults follow the paper's experimental setup (§VI): n=3 replicas,
+// pipelining window WND=10, batch size BSZ=1300 bytes, RequestQueue cap
+// 1000, ProposalQueue cap 20, 128-byte requests with 8-byte replies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mcsmr {
+
+using ReplicaId = std::uint32_t;
+
+struct Config {
+  // --- Cluster ---
+  int n = 3;  ///< number of replicas; tolerates f = (n-1)/2 crashes
+
+  // --- Ordering protocol (Paxos with batching + pipelining, [12]) ---
+  std::uint32_t window_size = 10;       ///< WND: max concurrent ballots
+  std::uint32_t batch_max_bytes = 1300; ///< BSZ: max batch payload bytes
+  std::uint64_t batch_timeout_ns = 5'000'000;  ///< close a partial batch after 5 ms
+
+  // --- Threading architecture (Fig 3) ---
+  int client_io_threads = 3;  ///< paper: optimal usually 3..6 (§V-A fn.2)
+
+  // --- Queue bounds (flow control by backpressure, §V-E) ---
+  std::size_t request_queue_cap = 1000;  ///< paper Table I: max 1000
+  std::size_t proposal_queue_cap = 20;   ///< paper Table I: max 20
+  std::size_t dispatcher_queue_cap = 8192;
+  std::size_t decision_queue_cap = 2048;
+  std::size_t send_queue_cap = 8192;
+  std::size_t reply_queue_cap = 8192;
+
+  // --- Failure detection (§V-C3) ---
+  std::uint64_t fd_heartbeat_interval_ns = 50'000'000;   ///< leader heartbeat: 50 ms
+  std::uint64_t fd_suspect_timeout_ns = 400'000'000;     ///< suspect leader after 400 ms
+
+  // --- Retransmission (§V-C4) ---
+  std::uint64_t retransmit_timeout_ns = 250'000'000;  ///< resend undecided after 250 ms
+
+  // --- Catch-up (§III-C) ---
+  std::uint64_t catchup_interval_ns = 200'000'000;  ///< gap scan period
+
+  // --- ServiceManager (§V-D) ---
+  std::size_t reply_cache_stripes = 64;  ///< lock stripes in the reply cache
+  std::uint64_t admitted_ttl_ns = 2'000'000'000;  ///< in-flight dedup window
+  /// Take a service snapshot every N decided instances (0 = disabled).
+  std::uint64_t snapshot_interval_instances = 0;
+
+  // --- Workload shape (used by clients/benches; paper §VI) ---
+  std::size_t request_payload_bytes = 128;
+  std::size_t reply_payload_bytes = 8;
+
+  /// Prepended to every module thread's registered name (benches co-host
+  /// several replicas in one process and set "r<id>/" to tell their
+  /// threads apart in the per-thread figures).
+  std::string thread_name_prefix;
+
+  /// Majority quorum size.
+  int quorum() const { return n / 2 + 1; }
+
+  /// Initial leader (view 0). Views map to leaders round-robin.
+  ReplicaId leader_of_view(std::uint64_t view) const {
+    return static_cast<ReplicaId>(view % static_cast<std::uint64_t>(n));
+  }
+
+  /// Parse `key=value` overrides (unknown keys throw std::invalid_argument).
+  /// Accepted keys: n, window_size (wnd), batch_max_bytes (bsz),
+  /// batch_timeout_ms, client_io_threads, request_queue_cap,
+  /// proposal_queue_cap, request_payload_bytes, reply_payload_bytes.
+  void apply_overrides(const std::map<std::string, std::string>& overrides);
+
+  /// Parse overrides from argv-style "key=value" tokens.
+  static Config from_args(const std::vector<std::string>& args);
+};
+
+}  // namespace mcsmr

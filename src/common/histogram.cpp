@@ -1,0 +1,96 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace mcsmr {
+
+namespace {
+constexpr int kMajorBuckets = 64;
+}
+
+Histogram::Histogram() : buckets_(static_cast<std::size_t>(kMajorBuckets) * kMinor, 0) {}
+
+int Histogram::bucket_index(std::uint64_t value) {
+  if (value < kMinor) return static_cast<int>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int major = msb - kMinorBits + 1;
+  const int minor = static_cast<int>((value >> (msb - kMinorBits)) & (kMinor - 1));
+  return major * kMinor + minor;
+}
+
+std::uint64_t Histogram::bucket_upper_bound(int index) {
+  const int major = index / kMinor;
+  const int minor = index % kMinor;
+  if (major == 0) return static_cast<std::uint64_t>(minor);
+  const int msb = major + kMinorBits - 1;
+  return ((1ull << msb) | (static_cast<std::uint64_t>(minor) << (msb - kMinorBits))) +
+         ((1ull << (msb - kMinorBits)) - 1);
+}
+
+void Histogram::record(std::uint64_t value) {
+  ++buckets_[static_cast<std::size_t>(bucket_index(value))];
+  ++count_;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  const auto target =
+      static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(count_) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) return bucket_upper_bound(static_cast<int>(i));
+  }
+  return max_;
+}
+
+std::string Histogram::summary_us() const {
+  char line[192];
+  std::snprintf(line, sizeof line,
+                "count=%llu mean=%.1fus p50=%.1fus p99=%.1fus max=%.1fus",
+                static_cast<unsigned long long>(count_), mean() / 1e3,
+                static_cast<double>(percentile(50)) / 1e3,
+                static_cast<double>(percentile(99)) / 1e3, static_cast<double>(max()) / 1e3);
+  return line;
+}
+
+double MeanStd::stddev() const {
+  const double v = variance();
+  return v <= 0 ? 0.0 : std::sqrt(v);
+}
+
+double MeanStd::stderr_mean() const {
+  return n_ < 2 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+}  // namespace mcsmr

@@ -1,0 +1,46 @@
+#include "common/logging.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "common/clock.hpp"
+#include "metrics/thread_stats.hpp"
+
+namespace mcsmr {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void Logger::write(LogLevel level, const std::string& message) {
+  const auto* stats = metrics::ThreadRegistry::current();
+  const char* thread_name = stats != nullptr ? stats->name().c_str() : "-";
+  char line[1024];
+  const int len =
+      std::snprintf(line, sizeof line, "[%10.6f] %s [%s] %s\n",
+                    static_cast<double>(mono_ns()) * 1e-9, level_tag(level), thread_name,
+                    message.c_str());
+  if (len > 0) {
+    // Single write() keeps concurrent lines from interleaving.
+    [[maybe_unused]] auto ignored =
+        ::write(STDERR_FILENO, line,
+                static_cast<std::size_t>(len) < sizeof line ? static_cast<std::size_t>(len)
+                                                            : sizeof line - 1);
+  }
+}
+
+}  // namespace mcsmr

@@ -1,0 +1,54 @@
+// Minimal leveled logger.
+//
+// Replicas are heavily multi-threaded, so each line is written with a
+// single write() call (no interleaving) and tagged with the registered
+// thread name. Logging is off the hot path: the level check is a relaxed
+// atomic load and the default level is Warn, so steady-state ordering
+// emits nothing.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace mcsmr {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_.store(static_cast<int>(level)); }
+  LogLevel level() const { return static_cast<LogLevel>(level_.load(std::memory_order_relaxed)); }
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  std::atomic<int> level_{static_cast<int>(LogLevel::Warn)};
+};
+
+namespace detail {
+struct LogLine {
+  explicit LogLine(LogLevel level) : level(level) {}
+  ~LogLine() { Logger::instance().write(level, stream.str()); }
+  LogLevel level;
+  std::ostringstream stream;
+};
+}  // namespace detail
+
+}  // namespace mcsmr
+
+#define MCSMR_LOG(level_)                                   \
+  if (!::mcsmr::Logger::instance().enabled(level_)) {       \
+  } else                                                    \
+    ::mcsmr::detail::LogLine(level_).stream
+
+#define LOG_DEBUG MCSMR_LOG(::mcsmr::LogLevel::Debug)
+#define LOG_INFO MCSMR_LOG(::mcsmr::LogLevel::Info)
+#define LOG_WARN MCSMR_LOG(::mcsmr::LogLevel::Warn)
+#define LOG_ERROR MCSMR_LOG(::mcsmr::LogLevel::Error)

@@ -1,0 +1,283 @@
+// Bounded queues — the connective tissue of the threading architecture.
+//
+// The paper's modules communicate almost exclusively through bounded
+// message queues (Fig 3: RequestQueue, ProposalQueue, DispatcherQueue,
+// DecisionQueue, SendQueues, per-ClientIO reply queues). Bounding them is
+// what implements flow control by backpressure (§V-E): a slow stage fills
+// its input queue, which stalls the stage before it, all the way back to
+// the TCP receive path.
+//
+// BoundedBlockingQueue is the default: mutex + two condition variables,
+// instrumented so that
+//   * contended lock acquisitions count as "blocked" time, and
+//   * empty/full condition waits count as "waiting" time
+// in the owning thread's ThreadStats — exactly the JVM states the paper
+// reports in Figs 1b/8/14.
+//
+// SpscRing and MpmcRing are lock-free alternatives used by the queue
+// ablation bench (bench_ablation_queues) and available to deployments
+// that want to shave the mutex cost on hot edges.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "metrics/thread_stats.hpp"
+
+namespace mcsmr {
+
+/// Multi-producer multi-consumer bounded FIFO with blocking push/pop,
+/// close semantics, and per-thread blocked/waiting instrumentation.
+///
+/// Close semantics: after close(), push/try_push return false; pop drains
+/// remaining items and then returns nullopt. This gives clean shutdown of
+/// pipeline stages without sentinel values.
+template <typename T>
+class BoundedBlockingQueue {
+ public:
+  explicit BoundedBlockingQueue(std::size_t capacity, std::string name = "queue")
+      : capacity_(capacity == 0 ? 1 : capacity), name_(std::move(name)) {}
+
+  BoundedBlockingQueue(const BoundedBlockingQueue&) = delete;
+  BoundedBlockingQueue& operator=(const BoundedBlockingQueue&) = delete;
+
+  /// Blocking push. Returns false (dropping `item`) if the queue is closed.
+  bool push(T item) {
+    std::unique_lock<metrics::InstrumentedMutex> lock(mu_);
+    if (items_.size() >= capacity_ && !closed_) {
+      metrics::WaitingTimer timer;
+      not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    size_.store(items_.size(), std::memory_order_relaxed);
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push. Returns false if full or closed.
+  bool try_push(T item) {
+    {
+      std::unique_lock<metrics::InstrumentedMutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      size_.store(items_.size(), std::memory_order_relaxed);
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop. Returns nullopt only when the queue is closed and empty.
+  std::optional<T> pop() {
+    std::unique_lock<metrics::InstrumentedMutex> lock(mu_);
+    if (items_.empty() && !closed_) {
+      metrics::WaitingTimer timer;
+      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    }
+    return pop_locked(lock);
+  }
+
+  /// Blocking pop with timeout. Returns nullopt on timeout or closed+empty.
+  std::optional<T> pop_for(std::uint64_t timeout_ns) {
+    std::unique_lock<metrics::InstrumentedMutex> lock(mu_);
+    if (items_.empty() && !closed_) {
+      metrics::WaitingTimer timer;
+      not_empty_.wait_for(lock, std::chrono::nanoseconds(timeout_ns),
+                          [&] { return !items_.empty() || closed_; });
+    }
+    if (items_.empty()) return std::nullopt;
+    return pop_locked(lock);
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::unique_lock<metrics::InstrumentedMutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    return pop_locked(lock);
+  }
+
+  /// Pop everything currently queued (blocking until at least one item is
+  /// available or the queue closes). Used by batch-oriented consumers
+  /// (e.g. the ServiceManager draining decided batches).
+  std::size_t pop_all(std::vector<T>& out) {
+    std::unique_lock<metrics::InstrumentedMutex> lock(mu_);
+    if (items_.empty() && !closed_) {
+      metrics::WaitingTimer timer;
+      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    }
+    const std::size_t count = items_.size();
+    for (auto& item : items_) out.push_back(std::move(item));
+    items_.clear();
+    size_.store(0, std::memory_order_relaxed);
+    lock.unlock();
+    if (count > 0) not_full_.notify_all();
+    return count;
+  }
+
+  /// Close the queue: wakes all waiters; producers fail, consumers drain.
+  void close() {
+    {
+      std::unique_lock<metrics::InstrumentedMutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::unique_lock<metrics::InstrumentedMutex> lock(
+        const_cast<metrics::InstrumentedMutex&>(mu_));
+    return closed_;
+  }
+
+  /// Approximate size; wait-free (read by the Table I queue sampler).
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+  std::size_t capacity() const { return capacity_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::optional<T> pop_locked(std::unique_lock<metrics::InstrumentedMutex>& lock) {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    size_.store(items_.size(), std::memory_order_relaxed);
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  metrics::InstrumentedMutex mu_;
+  std::condition_variable_any not_empty_;
+  std::condition_variable_any not_full_;
+  std::deque<T> items_;
+  const std::size_t capacity_;
+  bool closed_ = false;
+  std::atomic<std::size_t> size_{0};
+  std::string name_;
+};
+
+/// Single-producer single-consumer lock-free ring buffer (Lamport queue
+/// with cached indices). Capacity is rounded up to a power of two.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  bool try_push(T item) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head - cached_tail_ > mask_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head - cached_tail_ > mask_) return false;
+    }
+    buf_[head & mask_] = std::move(item);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return std::nullopt;
+    }
+    T item = std::move(buf_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return item;
+  }
+
+  std::size_t size() const {
+    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::size_t cached_tail_ = 0;
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::size_t cached_head_ = 0;
+};
+
+/// Bounded multi-producer multi-consumer lock-free queue (Dmitry Vyukov's
+/// sequence-numbered ring). Non-blocking only; used for ablations.
+template <typename T>
+class MpmcRing {
+ public:
+  explicit MpmcRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  bool try_push(T item) {
+    Cell* cell;
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t diff =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) break;
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->data = std::move(item);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> try_pop() {
+    Cell* cell;
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t diff =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) break;
+      } else if (diff < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    T item = std::move(cell->data);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return item;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq;
+    T data;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace mcsmr

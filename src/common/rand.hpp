@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation.
+//
+// Property tests and the SimNet/DES substrates must be exactly replayable
+// from a seed, so we use a self-contained xoshiro256** generator rather
+// than std::mt19937 (whose distributions are not cross-version stable).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace mcsmr {
+
+/// splitmix64: used to derive well-mixed seeds for Xoshiro from any u64.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform(std::uint64_t n) { return next_u64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Exponentially distributed value with the given mean (for DES service
+  /// time jitter and SimNet latency tails).
+  double exponential(double mean) {
+    double u = uniform01();
+    if (u >= 1.0) u = 0.9999999999999999;
+    return -mean * std::log(1.0 - u);
+  }
+
+  /// Derive an independent child generator (stable, seed-indexed).
+  Rng fork(std::uint64_t index) {
+    std::uint64_t sm = next_u64() ^ (0xA0761D6478BD642Full * (index + 1));
+    return Rng(splitmix64(sm));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t s_[4];
+};
+
+}  // namespace mcsmr

@@ -1,0 +1,4 @@
+#include "metrics/net_counters.hpp"
+
+// Header-only today; this TU pins the header's ODR-used inline symbols and
+// keeps a stable place for future non-inline accounting.

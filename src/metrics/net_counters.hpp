@@ -1,0 +1,65 @@
+// Per-node network accounting.
+//
+// Reproduces the Ganglia-derived columns of Table III (leader packets/s
+// out/in and MB/s out/in) and underpins the NIC-saturation analysis of
+// §VI-D. Counters are wait-free atomics bumped by transports (TCP and
+// SimNet) for every *network packet* — a message larger than the MTU is
+// counted as multiple packets, exactly as the paper's Ethernet frames.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace mcsmr::metrics {
+
+constexpr std::size_t kMtuBytes = 1500;      ///< Ethernet MTU
+constexpr std::size_t kMssBytes = 1448;      ///< MTU minus TCP/IP headers
+
+/// Number of MTU-sized packets a payload of `bytes` occupies on the wire.
+inline std::uint64_t packets_for_bytes(std::uint64_t bytes) {
+  if (bytes == 0) return 1;  // a bare ACK / empty message is still a frame
+  return (bytes + kMssBytes - 1) / kMssBytes;
+}
+
+/// One node's NIC counters. Cheap enough to bump per message.
+class NetCounters {
+ public:
+  void on_send(std::uint64_t payload_bytes) {
+    packets_out_.fetch_add(packets_for_bytes(payload_bytes), std::memory_order_relaxed);
+    bytes_out_.fetch_add(payload_bytes, std::memory_order_relaxed);
+  }
+  void on_recv(std::uint64_t payload_bytes) {
+    packets_in_.fetch_add(packets_for_bytes(payload_bytes), std::memory_order_relaxed);
+    bytes_in_.fetch_add(payload_bytes, std::memory_order_relaxed);
+  }
+
+  std::uint64_t packets_out() const { return packets_out_.load(std::memory_order_relaxed); }
+  std::uint64_t packets_in() const { return packets_in_.load(std::memory_order_relaxed); }
+  std::uint64_t bytes_out() const { return bytes_out_.load(std::memory_order_relaxed); }
+  std::uint64_t bytes_in() const { return bytes_in_.load(std::memory_order_relaxed); }
+
+  void reset() {
+    packets_out_.store(0, std::memory_order_relaxed);
+    packets_in_.store(0, std::memory_order_relaxed);
+    bytes_out_.store(0, std::memory_order_relaxed);
+    bytes_in_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Snapshot of all four counters (for rate computation over an interval).
+  struct Snapshot {
+    std::uint64_t packets_out = 0, packets_in = 0, bytes_out = 0, bytes_in = 0;
+    Snapshot operator-(const Snapshot& base) const {
+      return {packets_out - base.packets_out, packets_in - base.packets_in,
+              bytes_out - base.bytes_out, bytes_in - base.bytes_in};
+    }
+  };
+  Snapshot snapshot() const { return {packets_out(), packets_in(), bytes_out(), bytes_in()}; }
+
+ private:
+  std::atomic<std::uint64_t> packets_out_{0};
+  std::atomic<std::uint64_t> packets_in_{0};
+  std::atomic<std::uint64_t> bytes_out_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
+};
+
+}  // namespace mcsmr::metrics

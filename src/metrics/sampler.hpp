@@ -1,0 +1,65 @@
+// Periodic gauge sampler.
+//
+// Table I of the paper reports the *average size during a run* of the
+// RequestQueue, ProposalQueue and DispatcherQueue (± standard error), plus
+// the average number of parallel ballots, sampled once per second by a
+// dedicated background thread. GaugeSampler is that thread: callers
+// register named gauges (any callable returning double) and read back
+// mean ± stderr at the end of the run.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "metrics/thread_stats.hpp"
+
+namespace mcsmr::metrics {
+
+class GaugeSampler {
+ public:
+  /// `interval_ns` — sampling period (paper: 1 s; benches use shorter).
+  explicit GaugeSampler(std::uint64_t interval_ns);
+  ~GaugeSampler();
+
+  /// Register a gauge before start(). Not thread-safe with a running sampler.
+  void add_gauge(std::string name, std::function<double()> read);
+
+  void start();
+  void stop();
+
+  /// Discard samples collected so far (e.g. warm-up) but keep sampling.
+  void reset();
+
+  struct Result {
+    std::string name;
+    double mean = 0;
+    double stderr_mean = 0;
+    std::uint64_t samples = 0;
+  };
+  std::vector<Result> results() const;
+
+ private:
+  void run();
+
+  struct Gauge {
+    std::string name;
+    std::function<double()> read;
+    MeanStd acc;
+  };
+
+  const std::uint64_t interval_ns_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::vector<Gauge> gauges_;
+  NamedThread thread_;
+  bool started_ = false;
+};
+
+}  // namespace mcsmr::metrics

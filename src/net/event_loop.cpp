@@ -1,0 +1,98 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+
+namespace mcsmr::net {
+
+EventLoop::EventLoop()
+    : epoll_fd_(::epoll_create1(0)), wake_fd_(::eventfd(0, EFD_NONBLOCK)) {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_.get();
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev);
+}
+
+EventLoop::~EventLoop() = default;
+
+bool EventLoop::add(int fd, std::uint32_t events, FdCallback callback) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+  callbacks_[fd] = std::move(callback);
+  return true;
+}
+
+bool EventLoop::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  return ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void EventLoop::remove(int fd) {
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] auto ignored = ::write(wake_fd_.get(), &one, sizeof one);
+}
+
+void EventLoop::stop() {
+  stop_requested_ = true;
+  wake();
+}
+
+void EventLoop::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> guard(task_mu_);
+    tasks_.push_back(std::move(task));
+  }
+  wake();
+}
+
+void EventLoop::drain_tasks() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> guard(task_mu_);
+    batch.swap(tasks_);
+  }
+  for (auto& task : batch) task();
+}
+
+void EventLoop::run() {
+  running_ = true;
+  std::array<epoll_event, 128> events{};
+  while (!stop_requested_) {
+    const int n = ::epoll_wait(epoll_fd_.get(), events.data(),
+                               static_cast<int>(events.size()), 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[static_cast<std::size_t>(i)].data.fd;
+      if (fd == wake_fd_.get()) {
+        std::uint64_t drain;
+        while (::read(wake_fd_.get(), &drain, sizeof drain) > 0) {
+        }
+        continue;
+      }
+      // The callback may remove this or other fds; re-check membership.
+      auto it = callbacks_.find(fd);
+      if (it != callbacks_.end()) it->second(events[static_cast<std::size_t>(i)].events);
+    }
+    drain_tasks();
+  }
+  drain_tasks();
+  running_ = false;
+}
+
+}  // namespace mcsmr::net

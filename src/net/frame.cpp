@@ -1,0 +1,36 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace mcsmr::net {
+
+Bytes frame_message(std::span<const std::uint8_t> payload) {
+  Bytes frame;
+  frame.reserve(payload.size() + 4);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+bool FrameParser::feed(std::span<const std::uint8_t> chunk,
+                       const std::function<void(Bytes)>& on_frame) {
+  buf_.insert(buf_.end(), chunk.begin(), chunk.end());
+  std::size_t offset = 0;
+  while (buf_.size() - offset >= 4) {
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(buf_[offset + static_cast<std::size_t>(i)]) << (8 * i);
+    }
+    if (len > kMaxFrameBytes) return false;
+    if (buf_.size() - offset - 4 < len) break;
+    Bytes payload(buf_.begin() + static_cast<std::ptrdiff_t>(offset + 4),
+                  buf_.begin() + static_cast<std::ptrdiff_t>(offset + 4 + len));
+    offset += 4 + len;
+    on_frame(std::move(payload));
+  }
+  if (offset > 0) buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(offset));
+  return true;
+}
+
+}  // namespace mcsmr::net

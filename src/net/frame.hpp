@@ -1,0 +1,39 @@
+// Wire framing: every message is a u32 little-endian length prefix followed
+// by that many payload bytes.
+//
+// FrameParser is the incremental decoder used by non-blocking readers
+// (ClientIO's epoll loop): feed() arbitrary chunks as they arrive from the
+// socket and complete frames are surfaced in order. A maximum frame size
+// guards against corrupt/hostile length prefixes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "common/bytes.hpp"
+
+namespace mcsmr::net {
+
+constexpr std::uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+
+/// Wrap a payload in a length-prefixed frame.
+Bytes frame_message(std::span<const std::uint8_t> payload);
+
+/// Incremental length-prefix decoder.
+class FrameParser {
+ public:
+  /// Feed a chunk; invokes `on_frame` once per completed frame, in order.
+  /// Returns false (and stops) if a frame length exceeds kMaxFrameBytes —
+  /// the connection should be dropped.
+  bool feed(std::span<const std::uint8_t> chunk,
+            const std::function<void(Bytes)>& on_frame);
+
+  /// Bytes buffered waiting for the rest of a frame.
+  std::size_t pending_bytes() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+}  // namespace mcsmr::net

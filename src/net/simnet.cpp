@@ -1,0 +1,209 @@
+#include "net/simnet.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/clock.hpp"
+
+namespace mcsmr::net {
+
+SimNetwork::SimNetwork(SimNetParams params)
+    : params_(params), nodes_(params.max_nodes), fault_rng_(params.seed) {
+  delivery_thread_ = metrics::NamedThread("SimNetDelivery", [this] { delivery_loop(); });
+}
+
+SimNetwork::~SimNetwork() { shutdown(); }
+
+NodeId SimNetwork::add_node(std::string name, bool unlimited_nic) {
+  std::lock_guard<std::mutex> guard(add_node_mu_);
+  const std::size_t index = node_count_.load(std::memory_order_relaxed);
+  if (index >= nodes_.size()) throw std::runtime_error("SimNetwork: max_nodes exceeded");
+  auto node = std::make_unique<Node>();
+  node->name = std::move(name);
+  node->unlimited_nic = unlimited_nic;
+  nodes_[index] = std::move(node);
+  node_count_.store(index + 1, std::memory_order_release);
+  return static_cast<NodeId>(index);
+}
+
+SimNetwork::Node& SimNetwork::node_at(NodeId id) {
+  if (id >= node_count_.load(std::memory_order_acquire) || !nodes_[id]) {
+    throw std::out_of_range("SimNetwork: unknown node " + std::to_string(id));
+  }
+  return *nodes_[id];
+}
+
+std::shared_ptr<SimNetwork::Inbox> SimNetwork::inbox(NodeId node, Channel channel) {
+  std::lock_guard<std::mutex> guard(inbox_mu_);
+  auto& slot = inboxes_[{node, channel}];
+  if (!slot) {
+    slot = std::make_shared<Inbox>(params_.inbox_capacity, "simnet-inbox");
+  }
+  return slot;
+}
+
+std::uint64_t SimNetwork::reserve_nic(Node& node, bool out, std::uint64_t packets,
+                                      std::uint64_t bytes, std::uint64_t earliest_ns) {
+  std::uint64_t cost_ns = 0;
+  if (!node.unlimited_nic) {
+    if (params_.node_pps > 0) {
+      cost_ns = std::max(cost_ns, static_cast<std::uint64_t>(
+                                      static_cast<double>(packets) / params_.node_pps * 1e9));
+    }
+    if (params_.node_bandwidth_bps > 0) {
+      cost_ns = std::max(cost_ns,
+                         static_cast<std::uint64_t>(static_cast<double>(bytes) /
+                                                    params_.node_bandwidth_bps * 1e9));
+    }
+  }
+  std::lock_guard<std::mutex> guard(node.nic_mu);
+  std::uint64_t& busy_until = out ? node.nic_out_busy_until_ns : node.nic_in_busy_until_ns;
+  const std::uint64_t start = std::max(earliest_ns, busy_until);
+  busy_until = start + cost_ns;
+  return busy_until;
+}
+
+bool SimNetwork::send(NodeId from, NodeId to, Channel channel, Bytes payload) {
+  {
+    std::lock_guard<std::mutex> guard(flight_mu_);
+    if (stopping_) return false;
+  }
+
+  const std::uint64_t now = mono_ns();
+  const std::uint64_t bytes = payload.size();
+  const std::uint64_t packets = metrics::packets_for_bytes(bytes);
+
+  // Fault lookup (drop / duplicate / delay).
+  FaultPlan plan;
+  {
+    std::lock_guard<std::mutex> guard(fault_mu_);
+    auto it = faults_.find({from, to});
+    if (it != faults_.end()) plan = it->second;
+  }
+
+  Node& src = node_at(from);
+  Node& dst = node_at(to);
+  src.counters.on_send(bytes);
+
+  int copies = 1;
+  {
+    std::lock_guard<std::mutex> guard(fault_mu_);
+    if (plan.drop_prob > 0 && fault_rng_.chance(plan.drop_prob)) copies = 0;
+    if (copies == 1 && plan.dup_prob > 0 && fault_rng_.chance(plan.dup_prob)) copies = 2;
+  }
+  if (copies == 0) return true;  // silently lost, as on a real network
+
+  for (int copy = 0; copy < copies; ++copy) {
+    // Egress: the sender's NIC must emit `packets` frames.
+    const std::uint64_t egress_done = reserve_nic(src, /*out=*/true, packets, bytes, now);
+    // Propagation.
+    std::uint64_t arrive = egress_done + params_.one_way_ns + plan.extra_delay_ns;
+    if (plan.jitter_ns > 0) {
+      std::lock_guard<std::mutex> guard(fault_mu_);
+      arrive += fault_rng_.uniform(plan.jitter_ns);
+    }
+    // Ingress: the receiver's NIC must absorb the frames before delivery.
+    const std::uint64_t deliver_at = reserve_nic(dst, /*out=*/false, packets, bytes, arrive);
+    dst.counters.on_recv(bytes);
+
+    SimMessage message{from, channel, payload, now};
+    {
+      std::lock_guard<std::mutex> guard(flight_mu_);
+      if (stopping_) return false;
+      heap_.push_back(InFlight{deliver_at, next_seq_++, to, std::move(message)});
+      std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+    }
+    flight_cv_.notify_one();
+  }
+  return true;
+}
+
+std::optional<SimMessage> SimNetwork::recv(NodeId node, Channel channel) {
+  return inbox(node, channel)->pop();
+}
+
+std::optional<SimMessage> SimNetwork::recv_for(NodeId node, Channel channel,
+                                               std::uint64_t timeout_ns) {
+  return inbox(node, channel)->pop_for(timeout_ns);
+}
+
+void SimNetwork::close_inbox(NodeId node, Channel channel) {
+  inbox(node, channel)->close();
+}
+
+bool SimNetwork::inject(NodeId node, Channel channel, SimMessage message) {
+  return inbox(node, channel)->push(std::move(message));
+}
+
+void SimNetwork::set_fault(NodeId from, NodeId to, FaultPlan plan) {
+  std::lock_guard<std::mutex> guard(fault_mu_);
+  faults_[{from, to}] = plan;
+}
+
+void SimNetwork::set_partition(NodeId a, NodeId b, bool cut) {
+  FaultPlan plan;
+  plan.drop_prob = cut ? 1.0 : 0.0;
+  set_fault(a, b, plan);
+  set_fault(b, a, plan);
+}
+
+std::uint64_t SimNetwork::ping_rtt_ns(NodeId a, NodeId b) {
+  // A 64-byte ICMP-sized probe: one frame each way, delayed behind each
+  // node's pending NIC queue exactly like real traffic (ping bypasses the
+  // JVM/TCP stack in the paper too — it measures the kernel packet path).
+  // The probe itself peeks rather than reserves: its own four frames are
+  // negligible against the budget and must not perturb later probes.
+  const std::uint64_t now = mono_ns();
+  const auto queue_wait = [&](Node& node, bool out, std::uint64_t at) {
+    std::lock_guard<std::mutex> guard(node.nic_mu);
+    return std::max(at, out ? node.nic_out_busy_until_ns : node.nic_in_busy_until_ns);
+  };
+  Node& na = node_at(a);
+  Node& nb = node_at(b);
+  const std::uint64_t out = queue_wait(na, true, now) + params_.one_way_ns;
+  const std::uint64_t at_b = queue_wait(nb, false, out);
+  const std::uint64_t back = queue_wait(nb, true, at_b) + params_.one_way_ns;
+  const std::uint64_t done = queue_wait(na, false, back);
+  return done - now;
+}
+
+metrics::NetCounters& SimNetwork::counters(NodeId node) { return node_at(node).counters; }
+
+void SimNetwork::shutdown() {
+  {
+    std::lock_guard<std::mutex> guard(flight_mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  flight_cv_.notify_all();
+  delivery_thread_.join();
+  std::lock_guard<std::mutex> guard(inbox_mu_);
+  for (auto& [key, box] : inboxes_) box->close();
+}
+
+void SimNetwork::delivery_loop() {
+  std::unique_lock<std::mutex> lock(flight_mu_);
+  for (;;) {
+    if (stopping_ && heap_.empty()) return;
+    if (heap_.empty()) {
+      flight_cv_.wait(lock, [this] { return stopping_ || !heap_.empty(); });
+      continue;
+    }
+    const std::uint64_t now = mono_ns();
+    const std::uint64_t due = heap_.front().deliver_at_ns;
+    if (due > now && !stopping_) {
+      flight_cv_.wait_for(lock, std::chrono::nanoseconds(due - now));
+      continue;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    InFlight item = std::move(heap_.back());
+    heap_.pop_back();
+    lock.unlock();
+    // try_push: a full inbox behaves like a NIC ring overflow — the frame
+    // is dropped and end-to-end recovery (retransmission) kicks in.
+    inbox(item.to, item.message.channel)->try_push(std::move(item.message));
+    lock.lock();
+  }
+}
+
+}  // namespace mcsmr::net

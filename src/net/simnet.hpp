@@ -1,0 +1,183 @@
+// SimNet — an in-process network with a per-node NIC model.
+//
+// The paper's evaluation (§VI-D) localizes the throughput ceiling to the
+// *network subsystem of the leader node*: the Linux 2.6.26 kernel serves
+// all NIC interrupts from one core and saturates at ≈150K packets/s, which
+// (a) caps throughput regardless of cores, (b) inflates ping RTT to the
+// leader from 0.06 ms to ≈2.5 ms while leaving other links untouched
+// (Table II), and (c) makes batch size BSZ=1300 the efficiency knee
+// (Table III). We reproduce that mechanism with a queueing model:
+//
+//   * every node has one NIC "processor" with a packets/s budget and a
+//     bytes/s bandwidth; both ingress and egress packets consume it
+//     (matching the single-interrupt-queue explanation in the paper);
+//   * a message of B bytes costs ceil(B/MSS) packets (Ethernet frames);
+//   * the NIC is modeled as a FIFO reservation: each message occupies the
+//     NIC from `busy_until` for its cost, so queueing delay — and thus
+//     observed RTT — grows exactly when a node's packet rate approaches
+//     its budget;
+//   * a delivery thread releases messages into destination inboxes at
+//     their computed arrival times (real-time, so the real threaded
+//     replicas experience the modeled latency).
+//
+// SimNet also provides per-directed-link fault injection (drop, duplicate,
+// delay, jitter/reordering, partition) used by the Paxos and SMR property
+// tests, and a ping probe that measures RTT through the same NIC
+// reservations (regenerating Table II).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/queue.hpp"
+#include "common/rand.hpp"
+#include "metrics/net_counters.hpp"
+#include "metrics/thread_stats.hpp"
+
+namespace mcsmr::net {
+
+using NodeId = std::uint32_t;
+using Channel = std::uint32_t;
+
+/// A message as seen by the receiving node.
+struct SimMessage {
+  NodeId from = 0;
+  Channel channel = 0;
+  Bytes payload;
+  std::uint64_t sent_at_ns = 0;
+};
+
+struct SimNetParams {
+  std::uint64_t one_way_ns = 30'000;  ///< base one-way latency (idle RTT 0.06 ms, Table II)
+  double node_pps = 150'000;          ///< NIC packet budget per node; 0 = unlimited
+  double node_bandwidth_bps = 114e6;  ///< NIC bandwidth bytes/s (114 MB/s GbE); 0 = unlimited
+  std::uint64_t seed = 1;             ///< fault-injection RNG seed
+  std::size_t inbox_capacity = 1 << 16;
+  std::size_t max_nodes = 8192;       ///< node slots are preallocated (see add_node)
+};
+
+/// Per-directed-link fault plan (property tests).
+struct FaultPlan {
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  std::uint64_t extra_delay_ns = 0;
+  std::uint64_t jitter_ns = 0;  ///< uniform [0, jitter) extra delay => reordering
+};
+
+class SimNetwork {
+ public:
+  explicit SimNetwork(SimNetParams params = {});
+  ~SimNetwork();
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  /// Add a node. `unlimited_nic` exempts it from the packet budget (used
+  /// for client machines, which the paper shows are far from saturation).
+  /// Thread-safe and usable while traffic flows (slots are preallocated;
+  /// a new node is only addressed by peers after it has messaged them,
+  /// which orders the initialization). Throws when max_nodes is exceeded.
+  NodeId add_node(std::string name, bool unlimited_nic = false);
+
+  std::size_t node_count() const { return node_count_.load(std::memory_order_acquire); }
+
+  /// Send `payload` from `from` to `to:channel`. Returns false after
+  /// shutdown. A dropped (fault-injected) message still returns true —
+  /// the sender cannot tell, as on a real network.
+  bool send(NodeId from, NodeId to, Channel channel, Bytes payload);
+
+  /// Blocking receive; nullopt when the inbox is closed.
+  std::optional<SimMessage> recv(NodeId node, Channel channel);
+  /// Blocking receive with timeout; nullopt on timeout or close.
+  std::optional<SimMessage> recv_for(NodeId node, Channel channel, std::uint64_t timeout_ns);
+
+  /// Close one inbox, waking blocked receivers (used at module shutdown).
+  void close_inbox(NodeId node, Channel channel);
+
+  /// Local hand-off: place a message directly in (node, channel)'s inbox
+  /// without traversing the NIC model. This is how a same-process module
+  /// (e.g. the ServiceManager) posts work to a ClientIO thread's message
+  /// queue — the paper's reply hand-off (Fig 3), which is not network
+  /// traffic. Returns false if the inbox is full or closed.
+  bool inject(NodeId node, Channel channel, SimMessage message);
+
+  /// Fault injection on the directed link from->to.
+  void set_fault(NodeId from, NodeId to, FaultPlan plan);
+  /// Symmetric partition control: cut or heal both directions.
+  void set_partition(NodeId a, NodeId b, bool cut);
+
+  /// RTT of a 64-byte probe a->b->a measured through the same NIC
+  /// reservations real traffic uses (Table II's `ping`). Does not sleep.
+  std::uint64_t ping_rtt_ns(NodeId a, NodeId b);
+
+  /// NIC counters for Table III (packets & bytes, both directions).
+  metrics::NetCounters& counters(NodeId node);
+
+  /// Close all inboxes and stop the delivery thread.
+  void shutdown();
+
+ private:
+  struct Node {
+    std::string name;
+    bool unlimited_nic = false;
+    // Full-duplex NIC: independent budgets per direction (the paper's
+    // leader sustains ~150K pkts/s out and ~145K in simultaneously).
+    std::mutex nic_mu;
+    std::uint64_t nic_out_busy_until_ns = 0;
+    std::uint64_t nic_in_busy_until_ns = 0;
+    metrics::NetCounters counters;
+  };
+
+  struct InFlight {
+    std::uint64_t deliver_at_ns;
+    std::uint64_t seq;  // tie-break for deterministic ordering
+    NodeId to;
+    SimMessage message;
+    bool operator>(const InFlight& other) const {
+      return deliver_at_ns != other.deliver_at_ns ? deliver_at_ns > other.deliver_at_ns
+                                                  : seq > other.seq;
+    }
+  };
+
+  using Inbox = BoundedBlockingQueue<SimMessage>;
+
+  /// Reserve NIC time for `packets`/`bytes` on `node`'s egress (out=true)
+  /// or ingress path, no earlier than `earliest_ns`; returns when the NIC
+  /// finishes handling the message.
+  std::uint64_t reserve_nic(Node& node, bool out, std::uint64_t packets, std::uint64_t bytes,
+                            std::uint64_t earliest_ns);
+
+  std::shared_ptr<Inbox> inbox(NodeId node, Channel channel);
+  void delivery_loop();
+
+  Node& node_at(NodeId id);
+
+  SimNetParams params_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // preallocated slots
+  std::atomic<std::size_t> node_count_{0};
+  std::mutex add_node_mu_;
+
+  std::mutex inbox_mu_;
+  std::map<std::pair<NodeId, Channel>, std::shared_ptr<Inbox>> inboxes_;
+
+  std::mutex fault_mu_;
+  std::map<std::pair<NodeId, NodeId>, FaultPlan> faults_;
+  Rng fault_rng_;
+
+  std::mutex flight_mu_;
+  std::condition_variable flight_cv_;
+  // Min-heap on deliver_at (std::greater via operator>).
+  std::vector<InFlight> heap_;
+  std::uint64_t next_seq_ = 0;
+  bool stopping_ = false;
+
+  metrics::NamedThread delivery_thread_;
+};
+
+}  // namespace mcsmr::net

@@ -1,0 +1,36 @@
+#include "paxos/batch_builder.hpp"
+
+#include "paxos/messages.hpp"
+
+namespace mcsmr::paxos {
+
+std::vector<Bytes> BatchBuilder::add(Request request, std::uint64_t now_ns) {
+  const std::size_t need = request.encoded_size();
+  std::vector<Bytes> closed;
+  if (!pending_.empty() && bytes_ + need > max_bytes_) {
+    closed.push_back(flush());
+  }
+  if (pending_.empty()) oldest_ns_ = now_ns;
+  bytes_ += need;
+  pending_.push_back(std::move(request));
+  // An oversized single request still ships — as a batch of one.
+  if (bytes_ >= max_bytes_) {
+    closed.push_back(flush());
+  }
+  return closed;
+}
+
+std::optional<Bytes> BatchBuilder::poll(std::uint64_t now_ns, bool force) {
+  if (pending_.empty()) return std::nullopt;
+  if (!force && now_ns < oldest_ns_ + timeout_ns_) return std::nullopt;
+  return flush();
+}
+
+Bytes BatchBuilder::flush() {
+  Bytes value = encode_batch(pending_);
+  pending_.clear();
+  bytes_ = 4;
+  return value;
+}
+
+}  // namespace mcsmr::paxos

@@ -1,0 +1,56 @@
+// Batching policy (§III-A, [12]): group client requests into one consensus
+// value, closing a batch when it reaches BSZ bytes or when its oldest
+// request has waited batch_timeout.
+//
+// Pure bookkeeping, no threads: the Batcher thread owns one BatchBuilder
+// and drives it with requests popped from the RequestQueue. Keeping the
+// policy separate makes it unit-testable and lets benches sweep BSZ
+// without touching threading code.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "paxos/types.hpp"
+
+namespace mcsmr::paxos {
+
+class BatchBuilder {
+ public:
+  /// `max_bytes` is the BSZ limit on the *encoded batch* size;
+  /// `timeout_ns` bounds how long a partial batch may wait for company.
+  BatchBuilder(std::uint32_t max_bytes, std::uint64_t timeout_ns)
+      : max_bytes_(max_bytes), timeout_ns_(timeout_ns) {}
+
+  /// Add a request (arrival time `now_ns`). Returns every batch this add
+  /// closed (0, 1, or 2: the previously open batch if the request did not
+  /// fit, plus the new batch if the request alone reaches BSZ). A request
+  /// larger than BSZ forms a batch by itself.
+  std::vector<Bytes> add(Request request, std::uint64_t now_ns);
+
+  /// Deadline by which the open batch must be flushed, if one is open.
+  std::optional<std::uint64_t> deadline_ns() const {
+    if (pending_.empty()) return std::nullopt;
+    return oldest_ns_ + timeout_ns_;
+  }
+
+  /// Flush the open batch if its deadline has passed (or `force`).
+  std::optional<Bytes> poll(std::uint64_t now_ns, bool force = false);
+
+  bool empty() const { return pending_.empty(); }
+  std::size_t pending_requests() const { return pending_.size(); }
+  std::size_t pending_bytes() const { return bytes_; }
+  std::uint32_t max_bytes() const { return max_bytes_; }
+
+ private:
+  Bytes flush();
+
+  std::uint32_t max_bytes_;
+  std::uint64_t timeout_ns_;
+  std::vector<Request> pending_;
+  std::size_t bytes_ = 4;  // batch header (request count)
+  std::uint64_t oldest_ns_ = 0;
+};
+
+}  // namespace mcsmr::paxos

@@ -1,0 +1,359 @@
+#include "paxos/engine.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace mcsmr::paxos {
+
+Engine::Engine(const Config& config, ReplicaId self)
+    : config_(config), self_(self), rng_(0x5EEDull * (self + 1)) {}
+
+void Engine::start(std::vector<Effect>& out) {
+  if (config_.leader_of_view(0) == self_) {
+    become_candidate(out);
+  }
+}
+
+void Engine::on_message(ReplicaId from, const Message& message, std::vector<Effect>& out) {
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Prepare>) {
+          handle_prepare(from, m, out);
+        } else if constexpr (std::is_same_v<T, PrepareOk>) {
+          handle_prepare_ok(from, m, out);
+        } else if constexpr (std::is_same_v<T, Propose>) {
+          handle_propose(from, m, out);
+        } else if constexpr (std::is_same_v<T, Accept>) {
+          handle_accept(from, m, out);
+        } else if constexpr (std::is_same_v<T, Heartbeat>) {
+          handle_heartbeat(from, m, out);
+        } else if constexpr (std::is_same_v<T, CatchupQuery>) {
+          handle_catchup_query(from, m, out);
+        } else if constexpr (std::is_same_v<T, CatchupReply>) {
+          handle_catchup_reply(from, m, out);
+        } else if constexpr (std::is_same_v<T, SnapshotOffer>) {
+          handle_snapshot_offer(from, m, out);
+        }
+      },
+      message);
+}
+
+// ---------------------------------------------------------------------------
+// View changes (Phase 1)
+// ---------------------------------------------------------------------------
+
+void Engine::adopt_view(ViewId view, std::vector<Effect>& out) {
+  if (view <= view_) return;  // callers adopt only strictly-higher views
+  view_ = view;
+  role_ = Role::kFollower;
+  prepare_ok_mask_ = 0;
+  prepare_union_.clear();
+  out.push_back(CancelAllRetransmits{});
+  out.push_back(ViewChanged{view_, false});
+}
+
+void Engine::become_candidate(std::vector<Effect>& out) {
+  // Smallest view above the current one that this replica leads. If we are
+  // already candidate/leader of view_, move to the next one we lead (the
+  // current leadership evidently failed to make progress).
+  ViewId target = view_;
+  do {
+    ++target;
+  } while (config_.leader_of_view(target) != self_);
+  // Special case: initial start() — replica 0 may prepare view 0 itself.
+  if (view_ == 0 && role_ == Role::kFollower && config_.leader_of_view(0) == self_ &&
+      log_.first_undecided() == 0 && next_instance_ == 0) {
+    target = 0;
+  }
+
+  view_ = target;
+  role_ = Role::kCandidate;
+  prepare_from_ = log_.first_undecided();
+  prepare_ok_mask_ = bit(self_);
+  prepare_union_.clear();
+
+  // Seed the union with our own log suffix.
+  for (InstanceId id = prepare_from_; id < log_.end(); ++id) {
+    const LogEntry* e = log_.find(id);
+    if (e == nullptr || !e->has_value()) continue;
+    PrepareEntry entry{id, e->accepted_view, e->decided(), e->value};
+    prepare_union_[id] = std::move(entry);
+  }
+
+  out.push_back(CancelAllRetransmits{});
+  out.push_back(ViewChanged{view_, false});
+
+  if (config_.n == 1) {
+    become_leader(out);
+    return;
+  }
+  Prepare prepare{view_, prepare_from_};
+  out.push_back(BroadcastMsg{prepare});
+  out.push_back(ScheduleRetransmit{prepare_retransmit_key(view_), prepare});
+}
+
+void Engine::handle_prepare(ReplicaId from, const Prepare& m, std::vector<Effect>& out) {
+  if (m.view < view_) return;  // stale candidate; it will observe us later
+  if (config_.leader_of_view(m.view) != from || from == self_) return;
+  if (m.view > view_) adopt_view(m.view, out);
+  // m.view == view_: idempotent re-reply to a retransmitted Prepare.
+
+  PrepareOk ok;
+  ok.view = m.view;
+  ok.first_undecided = log_.first_undecided();
+  const InstanceId start = std::max(m.from_instance, log_.base());
+  for (InstanceId id = start; id < log_.end(); ++id) {
+    const LogEntry* e = log_.find(id);
+    if (e == nullptr || !e->has_value()) continue;
+    ok.entries.push_back(PrepareEntry{id, e->accepted_view, e->decided(), e->value});
+  }
+  out.push_back(SendTo{from, std::move(ok)});
+}
+
+void Engine::handle_prepare_ok(ReplicaId from, const PrepareOk& m, std::vector<Effect>& out) {
+  if (role_ != Role::kCandidate || m.view != view_) return;
+
+  for (const auto& entry : m.entries) {
+    auto [it, inserted] = prepare_union_.try_emplace(entry.instance, entry);
+    if (inserted) continue;
+    PrepareEntry& best = it->second;
+    if (best.decided) continue;
+    if (entry.decided || entry.accepted_view > best.accepted_view) best = entry;
+  }
+
+  prepare_ok_mask_ |= bit(from);
+  if (__builtin_popcountll(prepare_ok_mask_) >= config_.quorum()) {
+    become_leader(out);
+  }
+}
+
+void Engine::become_leader(std::vector<Effect>& out) {
+  role_ = Role::kLeader;
+  out.push_back(CancelRetransmit{prepare_retransmit_key(view_)});
+
+  // One past the highest instance any quorum member reported.
+  const InstanceId stop =
+      prepare_union_.empty() ? prepare_from_ : prepare_union_.rbegin()->first + 1;
+
+  // Close every open instance the quorum reported: adopt decided values,
+  // re-propose the highest-view accepted value, and fill gaps with no-ops
+  // so the decided sequence has no holes.
+  for (InstanceId id = prepare_from_; id < stop; ++id) {
+    if (log_.is_decided(id)) continue;
+    auto it = prepare_union_.find(id);
+    if (it != prepare_union_.end() && it->second.decided) {
+      // Re-propose so followers that missed the decision converge, then
+      // decide locally without waiting for votes.
+      propose_now(id, Bytes(it->second.value), out);
+      decide(id, out);
+      continue;
+    }
+    Bytes value =
+        it != prepare_union_.end() ? it->second.value : encode_batch({});  // gap: no-op
+    propose_now(id, std::move(value), out);
+  }
+
+  next_instance_ = std::max({next_instance_, stop, prepare_from_});
+  prepare_union_.clear();
+  out.push_back(ViewChanged{view_, true});
+}
+
+// ---------------------------------------------------------------------------
+// Ordering (Phase 2)
+// ---------------------------------------------------------------------------
+
+bool Engine::on_batch(Bytes batch, std::vector<Effect>& out) {
+  if (role_ != Role::kLeader || !window_available()) return false;
+  const InstanceId instance = next_instance_++;
+  propose_now(instance, std::move(batch), out);
+  return true;
+}
+
+void Engine::propose_now(InstanceId instance, Bytes value, std::vector<Effect>& out) {
+  LogEntry& e = log_.entry(instance);
+  if (e.decided()) return;
+  e.state = InstanceState::kKnown;
+  e.accepted_view = view_;
+  e.value = std::move(value);
+  // Our proposal carries our own acceptance.
+  if (view_ > e.vote_view) {
+    e.vote_view = view_;
+    e.vote_mask = 0;
+  }
+  e.vote_mask |= bit(self_);
+
+  Propose propose{view_, instance, e.value};
+  out.push_back(ScheduleRetransmit{propose_retransmit_key(instance), propose});
+  out.push_back(BroadcastMsg{std::move(propose)});
+  if (next_instance_ <= instance) next_instance_ = instance + 1;
+
+  // Single-replica cluster: our own vote is already a quorum.
+  record_vote(instance, view_, self_, out);
+}
+
+void Engine::handle_propose(ReplicaId from, const Propose& m, std::vector<Effect>& out) {
+  if (m.view < view_) return;
+  if (config_.leader_of_view(m.view) != from) return;
+  if (m.view > view_) adopt_view(m.view, out);
+
+  if (m.instance < log_.base()) return;  // already snapshotted past it
+  LogEntry& e = log_.entry(m.instance);
+  if (!e.decided()) {
+    if (m.view >= e.accepted_view) {
+      e.state = InstanceState::kKnown;
+      e.accepted_view = m.view;
+      e.value = m.value;
+    }
+  }
+
+  // Broadcast our acceptance to every replica (learners count votes).
+  out.push_back(BroadcastMsg{Accept{m.view, m.instance}});
+
+  // The proposal implies the leader's acceptance; count both votes.
+  record_vote(m.instance, m.view, from, out);
+  record_vote(m.instance, m.view, self_, out);
+}
+
+void Engine::handle_accept(ReplicaId from, const Accept& m, std::vector<Effect>& out) {
+  if (m.view < view_) return;
+  if (m.view > view_) adopt_view(m.view, out);
+  if (m.instance < log_.base()) return;
+  record_vote(m.instance, m.view, from, out);
+}
+
+void Engine::record_vote(InstanceId instance, ViewId vote_view, ReplicaId voter,
+                         std::vector<Effect>& out) {
+  if (instance < log_.base()) return;
+  LogEntry& e = log_.entry(instance);
+  if (e.decided()) return;
+  if (vote_view < e.vote_view) return;  // stale ballot
+  if (vote_view > e.vote_view) {
+    e.vote_view = vote_view;
+    e.vote_mask = 0;
+  }
+  e.vote_mask |= bit(voter);
+  // Decide only when we hold the value certified by this ballot.
+  if (e.vote_count() >= config_.quorum() && e.has_value() && e.accepted_view == e.vote_view) {
+    decide(instance, out);
+  }
+}
+
+void Engine::decide(InstanceId instance, std::vector<Effect>& out) {
+  const LogEntry* e = log_.find(instance);
+  if (e == nullptr) return;
+  Bytes value = e->value;
+  if (!log_.decide(instance, std::move(value))) return;
+  out.push_back(CancelRetransmit{propose_retransmit_key(instance)});
+  try_deliver(out);
+}
+
+void Engine::try_deliver(std::vector<Effect>& out) {
+  while (next_deliver_ < log_.end() && log_.is_decided(next_deliver_)) {
+    const LogEntry* e = log_.find(next_deliver_);
+    if (e == nullptr) break;  // truncated: snapshot install moves the cursor
+    out.push_back(Deliver{next_deliver_, e->value});
+    ++next_deliver_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Liveness: heartbeats, suspicion, catch-up
+// ---------------------------------------------------------------------------
+
+void Engine::on_heartbeat_timer(std::vector<Effect>& out) {
+  if (role_ != Role::kLeader) return;
+  out.push_back(BroadcastMsg{Heartbeat{view_, log_.first_undecided()}});
+}
+
+void Engine::handle_heartbeat(ReplicaId from, const Heartbeat& m, std::vector<Effect>& out) {
+  if (m.view < view_) return;
+  if (config_.leader_of_view(m.view) != from) return;
+  if (m.view > view_) adopt_view(m.view, out);
+  known_leader_undecided_ = std::max(known_leader_undecided_, m.first_undecided);
+}
+
+void Engine::on_suspect_leader(std::vector<Effect>& out) {
+  if (role_ == Role::kLeader) return;  // we do not suspect ourselves
+  become_candidate(out);
+}
+
+void Engine::on_catchup_timer(std::vector<Effect>& out) {
+  // How far the cluster has provably progressed beyond us.
+  InstanceId target = known_leader_undecided_;
+  // Anything we voted on / saw proposed above first_undecided also counts.
+  target = std::max(target, log_.end());
+  const InstanceId start = log_.first_undecided();
+  if (target <= start) return;
+  if (role_ == Role::kLeader) return;  // the leader closes its own gaps
+
+  constexpr std::size_t kMaxPerQuery = 256;
+  CatchupQuery query;
+  query.from_instance = start;
+  for (InstanceId id = start; id < target && query.instances.size() < kMaxPerQuery; ++id) {
+    if (!log_.is_decided(id)) query.instances.push_back(id);
+  }
+  if (query.instances.empty()) return;
+
+  // Ask a random other replica; decided values are everywhere by quorum,
+  // and spreading queries keeps the leader off the critical path.
+  ReplicaId peer = self_;
+  while (peer == self_) {
+    peer = static_cast<ReplicaId>(rng_.uniform(static_cast<std::uint64_t>(config_.n)));
+  }
+  out.push_back(SendTo{peer, std::move(query)});
+}
+
+void Engine::handle_catchup_query(ReplicaId from, const CatchupQuery& m,
+                                  std::vector<Effect>& out) {
+  // If the request reaches below our log base we cannot serve values;
+  // offer a snapshot instead (state transfer).
+  if (m.from_instance < log_.base() && snapshot_provider_) {
+    if (auto snapshot = snapshot_provider_()) {
+      out.push_back(SendTo{
+          from, SnapshotOffer{snapshot->next_instance, snapshot->state,
+                              snapshot->reply_cache}});
+      return;
+    }
+  }
+
+  CatchupReply reply;
+  for (InstanceId id : m.instances) {
+    const LogEntry* e = log_.find(id);
+    if (e != nullptr && e->decided()) {
+      reply.decided.push_back(CatchupDecided{id, e->value});
+    }
+  }
+  if (!reply.decided.empty()) out.push_back(SendTo{from, std::move(reply)});
+}
+
+void Engine::handle_catchup_reply(ReplicaId from, const CatchupReply& m,
+                                  std::vector<Effect>& out) {
+  for (const auto& item : m.decided) {
+    if (item.instance < log_.base()) continue;
+    LogEntry& e = log_.entry(item.instance);
+    if (e.decided()) continue;
+    e.state = InstanceState::kKnown;
+    e.value = item.value;
+    decide(item.instance, out);
+  }
+}
+
+void Engine::handle_snapshot_offer(ReplicaId from, const SnapshotOffer& m,
+                                   std::vector<Effect>& out) {
+  if (m.next_instance <= log_.first_undecided()) return;  // nothing new
+  out.push_back(InstallSnapshot{m.next_instance, m.state, m.reply_cache});
+  log_.truncate_before(m.next_instance);
+  if (next_deliver_ < m.next_instance) next_deliver_ = m.next_instance;
+  if (next_instance_ < m.next_instance) next_instance_ = m.next_instance;
+  try_deliver(out);
+}
+
+void Engine::on_local_snapshot(InstanceId next_instance) {
+  // Keep a short tail above the snapshot so common catch-up queries can
+  // still be served from the log instead of shipping full state.
+  if (next_instance > log_.base()) log_.truncate_before(next_instance);
+}
+
+}  // namespace mcsmr::paxos

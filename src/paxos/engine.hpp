@@ -1,0 +1,206 @@
+// The replication protocol engine: view-based MultiPaxos with batching and
+// pipelining, expressed as a *pure* event-driven state machine.
+//
+// The engine owns the replicated log and all protocol state and is driven
+// exclusively by the Protocol thread (§V-C2: "this thread has exclusive
+// write access to the bulk of the state of the ReplicationCore module").
+// Inputs are messages, timer ticks and ready batches; outputs are Effects
+// (messages to send, decisions to deliver, retransmissions to (un)arm).
+// Because no thread or I/O concern leaks in here, the protocol is testable
+// deterministically: property tests drive random schedules with drops,
+// duplication and reordering and assert Paxos safety.
+//
+// Protocol sketch (one leader per view, view v led by replica v mod n):
+//   * A replica that suspects the leader becomes a candidate for the next
+//     view it leads and broadcasts Prepare(view, from=first_undecided).
+//   * Acceptors at a lower view adopt it and answer PrepareOk with their
+//     log suffix (accepted and decided entries).
+//   * On a quorum of PrepareOk the candidate becomes leader: decided
+//     entries are adopted, the highest-view accepted value is re-proposed
+//     for every open instance, gaps are filled with no-op batches, and new
+//     batches may then be proposed into the pipelining window (WND).
+//   * Propose(view, instance, batch) implies the leader's own acceptance;
+//     every acceptor that accepts broadcasts Accept(view, instance) to all
+//     replicas. Any replica that holds the value accepted in view v and
+//     observes a quorum of acceptances for v decides the instance — the
+//     leader thus decides after its own accept plus quorum-1 Accepts,
+//     matching the paper's "at least one Phase 2b from another replica"
+//     for n=3 (§VI-D2).
+//   * Decided instances are delivered in log order. Lagging replicas pull
+//     decided values via CatchupQuery; if the peer already truncated its
+//     log, it answers with a SnapshotOffer (state transfer).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/rand.hpp"
+#include "paxos/log.hpp"
+#include "paxos/messages.hpp"
+
+namespace mcsmr::paxos {
+
+// ---------------------------------------------------------------------------
+// Effects: everything the engine asks its host (the Protocol thread) to do.
+// ---------------------------------------------------------------------------
+
+struct SendTo {
+  ReplicaId to = 0;
+  Message message;
+};
+struct BroadcastMsg {
+  Message message;
+};
+/// Deliver a decided batch to the service, strictly in instance order.
+struct Deliver {
+  InstanceId instance = 0;
+  Bytes value;
+};
+/// Arm periodic re-broadcast of `message` until cancelled by key.
+struct ScheduleRetransmit {
+  std::uint64_t key = 0;
+  Message message;
+};
+struct CancelRetransmit {
+  std::uint64_t key = 0;
+};
+/// Drop every armed retransmission (on view adoption).
+struct CancelAllRetransmits {};
+/// Role/view transition notification (drives the failure detector).
+struct ViewChanged {
+  ViewId view = 0;
+  bool is_leader = false;
+};
+/// Install a received snapshot before executing further deliveries.
+struct InstallSnapshot {
+  InstanceId next_instance = 0;
+  Bytes state;
+  Bytes reply_cache;
+};
+
+using Effect = std::variant<SendTo, BroadcastMsg, Deliver, ScheduleRetransmit,
+                            CancelRetransmit, CancelAllRetransmits, ViewChanged,
+                            InstallSnapshot>;
+
+/// Retransmission keys: Propose keyed by instance, Prepare keyed by view.
+inline std::uint64_t propose_retransmit_key(InstanceId instance) { return instance << 1; }
+inline std::uint64_t prepare_retransmit_key(ViewId view) { return (view << 1) | 1; }
+
+/// Snapshot data served to lagging peers; provided by the ServiceManager.
+struct SnapshotData {
+  InstanceId next_instance = 0;
+  Bytes state;
+  Bytes reply_cache;
+};
+
+class Engine {
+ public:
+  Engine(const Config& config, ReplicaId self);
+
+  // --- Inputs (single caller: the Protocol thread) -------------------------
+
+  /// Initial kick: the leader of view 0 starts Phase 1.
+  void start(std::vector<Effect>& out);
+
+  void on_message(ReplicaId from, const Message& message, std::vector<Effect>& out);
+
+  /// Offer a batch for ordering. Returns false (batch not consumed) unless
+  /// this replica is leader with pipeline window room.
+  bool on_batch(Bytes batch, std::vector<Effect>& out);
+
+  /// Failure-detector suspicion of the current leader.
+  void on_suspect_leader(std::vector<Effect>& out);
+
+  /// Leader heartbeat tick (driven by the FailureDetector thread cadence).
+  void on_heartbeat_timer(std::vector<Effect>& out);
+
+  /// Periodic catch-up scan for gaps behind the leader.
+  void on_catchup_timer(std::vector<Effect>& out);
+
+  /// Host hook: latest local snapshot for answering deep catch-up queries.
+  void set_snapshot_provider(std::function<std::optional<SnapshotData>()> provider) {
+    snapshot_provider_ = std::move(provider);
+  }
+
+  /// Host notification that the service installed a local snapshot; the
+  /// log below `next_instance` can be dropped.
+  void on_local_snapshot(InstanceId next_instance);
+
+  // --- Queries --------------------------------------------------------------
+
+  ViewId view() const { return view_; }
+  bool is_leader() const { return role_ == Role::kLeader; }
+  ReplicaId leader() const { return config_.leader_of_view(view_); }
+  InstanceId first_undecided() const { return log_.first_undecided(); }
+  InstanceId next_instance() const { return next_instance_; }
+
+  /// Open pipeline slots in use — the paper's "parallel ballots" (Table I).
+  std::uint32_t window_in_use() const {
+    return next_instance_ > log_.first_undecided()
+               ? static_cast<std::uint32_t>(next_instance_ - log_.first_undecided())
+               : 0;
+  }
+  bool window_available() const { return window_in_use() < config_.window_size; }
+
+  const ReplicatedLog& log() const { return log_; }
+
+ private:
+  enum class Role { kFollower, kCandidate, kLeader };
+
+  // Message handlers.
+  void handle_prepare(ReplicaId from, const Prepare& m, std::vector<Effect>& out);
+  void handle_prepare_ok(ReplicaId from, const PrepareOk& m, std::vector<Effect>& out);
+  void handle_propose(ReplicaId from, const Propose& m, std::vector<Effect>& out);
+  void handle_accept(ReplicaId from, const Accept& m, std::vector<Effect>& out);
+  void handle_heartbeat(ReplicaId from, const Heartbeat& m, std::vector<Effect>& out);
+  void handle_catchup_query(ReplicaId from, const CatchupQuery& m, std::vector<Effect>& out);
+  void handle_catchup_reply(ReplicaId from, const CatchupReply& m, std::vector<Effect>& out);
+  void handle_snapshot_offer(ReplicaId from, const SnapshotOffer& m, std::vector<Effect>& out);
+
+  /// Adopt `view` as follower (higher view observed). No-op if not higher.
+  void adopt_view(ViewId view, std::vector<Effect>& out);
+  /// Become candidate for the next view this replica leads.
+  void become_candidate(std::vector<Effect>& out);
+  /// Phase 1 quorum reached: take leadership, re-propose open instances.
+  void become_leader(std::vector<Effect>& out);
+  /// Propose `value` for `instance` at the current view (leader only).
+  void propose_now(InstanceId instance, Bytes value, std::vector<Effect>& out);
+  /// Count an Accept vote; decides when a quorum certifies a held value.
+  void record_vote(InstanceId instance, ViewId vote_view, ReplicaId voter,
+                   std::vector<Effect>& out);
+  void decide(InstanceId instance, std::vector<Effect>& out);
+  /// Emit Deliver effects for the contiguous decided prefix.
+  void try_deliver(std::vector<Effect>& out);
+
+  static std::uint64_t bit(ReplicaId id) { return 1ull << id; }
+
+  Config config_;
+  ReplicaId self_;
+  ReplicatedLog log_;
+
+  ViewId view_ = 0;
+  Role role_ = Role::kFollower;
+
+  // Candidate (Phase 1) state.
+  std::uint64_t prepare_ok_mask_ = 0;
+  InstanceId prepare_from_ = 0;
+  std::map<InstanceId, PrepareEntry> prepare_union_;
+
+  // Leader state.
+  InstanceId next_instance_ = 0;
+
+  // Learner state.
+  InstanceId next_deliver_ = 0;
+
+  // Catch-up state.
+  InstanceId known_leader_undecided_ = 0;
+  std::function<std::optional<SnapshotData>()> snapshot_provider_;
+
+  Rng rng_;
+};
+
+}  // namespace mcsmr::paxos

@@ -1,0 +1,50 @@
+#include "paxos/log.hpp"
+
+#include <cassert>
+
+namespace mcsmr::paxos {
+
+LogEntry& ReplicatedLog::entry(InstanceId instance) {
+  assert(instance >= base_ && "access below log base (truncated)");
+  const std::size_t index = instance - base_;
+  if (index >= entries_.size()) entries_.resize(index + 1);
+  return entries_[index];
+}
+
+const LogEntry* ReplicatedLog::find(InstanceId instance) const {
+  if (instance < base_) return nullptr;
+  const std::size_t index = instance - base_;
+  if (index >= entries_.size()) return nullptr;
+  return &entries_[index];
+}
+
+bool ReplicatedLog::decide(InstanceId instance, Bytes value) {
+  if (instance < base_) return false;  // superseded by a snapshot
+  LogEntry& e = entry(instance);
+  if (e.decided()) return false;
+  e.state = InstanceState::kDecided;
+  e.value = std::move(value);
+  advance_first_undecided();
+  return true;
+}
+
+void ReplicatedLog::advance_first_undecided() {
+  while (first_undecided_ < end()) {
+    const LogEntry* e = find(first_undecided_);
+    if (e == nullptr || !e->decided()) break;
+    ++first_undecided_;
+  }
+  if (first_undecided_ < base_) first_undecided_ = base_;
+}
+
+void ReplicatedLog::truncate_before(InstanceId new_base) {
+  if (new_base <= base_) return;
+  const std::size_t drop =
+      std::min(entries_.size(), static_cast<std::size_t>(new_base - base_));
+  entries_.erase(entries_.begin(), entries_.begin() + static_cast<std::ptrdiff_t>(drop));
+  base_ = new_base;
+  if (first_undecided_ < base_) first_undecided_ = base_;
+  advance_first_undecided();
+}
+
+}  // namespace mcsmr::paxos

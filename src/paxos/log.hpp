@@ -1,0 +1,81 @@
+// The replicated log (§III-C: "its state consists of the replicated log
+// containing the information on every known instance of the ordering
+// protocol").
+//
+// Entries live in a deque indexed by InstanceId minus the truncation base,
+// so the log supports snapshot-driven truncation without invalidating
+// instance ids. The Protocol thread is the only writer (the paper's
+// exclusive-write-access rule, §V-C2); other threads never touch the log.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "paxos/types.hpp"
+
+namespace mcsmr::paxos {
+
+/// Paper §III-C names the instance states Unknown (slot exists but no
+/// accepted value), Known (value accepted, not yet decided) and Decided.
+enum class InstanceState : std::uint8_t { kUnknown = 0, kKnown = 1, kDecided = 2 };
+
+struct LogEntry {
+  InstanceState state = InstanceState::kUnknown;
+
+  /// Highest view in which this replica accepted a value.
+  ViewId accepted_view = 0;
+  Bytes value;
+
+  /// Vote bookkeeping for the learner: which replicas sent Accept for
+  /// `vote_view`. Votes from older views are discarded when a newer view's
+  /// vote arrives (the newer proposal supersedes).
+  ViewId vote_view = 0;
+  std::uint64_t vote_mask = 0;
+
+  bool decided() const { return state == InstanceState::kDecided; }
+  bool has_value() const { return state != InstanceState::kUnknown; }
+  int vote_count() const { return __builtin_popcountll(vote_mask); }
+};
+
+class ReplicatedLog {
+ public:
+  /// First instance id not covered by a snapshot (log start).
+  InstanceId base() const { return base_; }
+
+  /// First instance not yet decided (all below are decided or truncated).
+  InstanceId first_undecided() const { return first_undecided_; }
+
+  /// One past the highest instance that has an entry.
+  InstanceId end() const { return base_ + entries_.size(); }
+
+  /// Access (creating empty entries up to) `instance`. Must be >= base().
+  LogEntry& entry(InstanceId instance);
+
+  /// Read-only access; nullptr if truncated or beyond end.
+  const LogEntry* find(InstanceId instance) const;
+
+  bool is_decided(InstanceId instance) const {
+    const LogEntry* e = find(instance);
+    return instance < base_ || (e != nullptr && e->decided());
+  }
+
+  /// Mark `instance` decided with `value`; advances first_undecided over
+  /// any contiguous decided prefix. Returns true if newly decided.
+  bool decide(InstanceId instance, Bytes value);
+
+  /// Drop all entries below `new_base` (everything must be decided or the
+  /// caller is installing a snapshot that supersedes them).
+  void truncate_before(InstanceId new_base);
+
+  /// Number of in-memory entries (monitoring).
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  void advance_first_undecided();
+
+  std::deque<LogEntry> entries_;
+  InstanceId base_ = 0;
+  InstanceId first_undecided_ = 0;
+};
+
+}  // namespace mcsmr::paxos

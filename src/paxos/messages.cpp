@@ -1,0 +1,207 @@
+#include "paxos/messages.hpp"
+
+namespace mcsmr::paxos {
+
+Bytes encode_batch(const std::vector<Request>& requests) {
+  std::size_t size = 4;
+  for (const auto& request : requests) size += request.encoded_size();
+  ByteWriter writer(size);
+  writer.u32(static_cast<std::uint32_t>(requests.size()));
+  for (const auto& request : requests) request.encode(writer);
+  return writer.take();
+}
+
+std::vector<Request> decode_batch(const Bytes& value) {
+  ByteReader reader(value);
+  const std::uint32_t count = reader.u32();
+  std::vector<Request> requests;
+  requests.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) requests.push_back(Request::decode(reader));
+  if (!reader.at_end()) throw DecodeError("trailing bytes after batch");
+  return requests;
+}
+
+namespace {
+
+enum class Tag : std::uint8_t {
+  kPrepare = 1,
+  kPrepareOk = 2,
+  kPropose = 3,
+  kAccept = 4,
+  kHeartbeat = 5,
+  kCatchupQuery = 6,
+  kCatchupReply = 7,
+  kSnapshotOffer = 8,
+};
+
+struct Encoder {
+  ByteWriter& writer;
+
+  void operator()(const Prepare& m) const {
+    writer.u8(static_cast<std::uint8_t>(Tag::kPrepare));
+    writer.u64(m.view);
+    writer.u64(m.from_instance);
+  }
+  void operator()(const PrepareOk& m) const {
+    writer.u8(static_cast<std::uint8_t>(Tag::kPrepareOk));
+    writer.u64(m.view);
+    writer.u64(m.first_undecided);
+    writer.u32(static_cast<std::uint32_t>(m.entries.size()));
+    for (const auto& entry : m.entries) {
+      writer.u64(entry.instance);
+      writer.u64(entry.accepted_view);
+      writer.u8(entry.decided ? 1 : 0);
+      writer.bytes(entry.value);
+    }
+  }
+  void operator()(const Propose& m) const {
+    writer.u8(static_cast<std::uint8_t>(Tag::kPropose));
+    writer.u64(m.view);
+    writer.u64(m.instance);
+    writer.bytes(m.value);
+  }
+  void operator()(const Accept& m) const {
+    writer.u8(static_cast<std::uint8_t>(Tag::kAccept));
+    writer.u64(m.view);
+    writer.u64(m.instance);
+  }
+  void operator()(const Heartbeat& m) const {
+    writer.u8(static_cast<std::uint8_t>(Tag::kHeartbeat));
+    writer.u64(m.view);
+    writer.u64(m.first_undecided);
+  }
+  void operator()(const CatchupQuery& m) const {
+    writer.u8(static_cast<std::uint8_t>(Tag::kCatchupQuery));
+    writer.u64(m.from_instance);
+    writer.u32(static_cast<std::uint32_t>(m.instances.size()));
+    for (InstanceId id : m.instances) writer.u64(id);
+  }
+  void operator()(const CatchupReply& m) const {
+    writer.u8(static_cast<std::uint8_t>(Tag::kCatchupReply));
+    writer.u32(static_cast<std::uint32_t>(m.decided.size()));
+    for (const auto& item : m.decided) {
+      writer.u64(item.instance);
+      writer.bytes(item.value);
+    }
+  }
+  void operator()(const SnapshotOffer& m) const {
+    writer.u8(static_cast<std::uint8_t>(Tag::kSnapshotOffer));
+    writer.u64(m.next_instance);
+    writer.bytes(m.state);
+    writer.bytes(m.reply_cache);
+  }
+};
+
+}  // namespace
+
+Bytes encode_message(ReplicaId from, const Message& message) {
+  ByteWriter writer(64);
+  writer.u32(from);
+  std::visit(Encoder{writer}, message);
+  return writer.take();
+}
+
+WireMessage decode_message(const Bytes& frame) {
+  ByteReader reader(frame);
+  WireMessage wire;
+  wire.from = reader.u32();
+  const auto tag = static_cast<Tag>(reader.u8());
+  switch (tag) {
+    case Tag::kPrepare: {
+      Prepare m;
+      m.view = reader.u64();
+      m.from_instance = reader.u64();
+      wire.message = m;
+      break;
+    }
+    case Tag::kPrepareOk: {
+      PrepareOk m;
+      m.view = reader.u64();
+      m.first_undecided = reader.u64();
+      const std::uint32_t count = reader.u32();
+      m.entries.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        PrepareEntry entry;
+        entry.instance = reader.u64();
+        entry.accepted_view = reader.u64();
+        entry.decided = reader.u8() != 0;
+        entry.value = reader.bytes();
+        m.entries.push_back(std::move(entry));
+      }
+      wire.message = std::move(m);
+      break;
+    }
+    case Tag::kPropose: {
+      Propose m;
+      m.view = reader.u64();
+      m.instance = reader.u64();
+      m.value = reader.bytes();
+      wire.message = std::move(m);
+      break;
+    }
+    case Tag::kAccept: {
+      Accept m;
+      m.view = reader.u64();
+      m.instance = reader.u64();
+      wire.message = m;
+      break;
+    }
+    case Tag::kHeartbeat: {
+      Heartbeat m;
+      m.view = reader.u64();
+      m.first_undecided = reader.u64();
+      wire.message = m;
+      break;
+    }
+    case Tag::kCatchupQuery: {
+      CatchupQuery m;
+      m.from_instance = reader.u64();
+      const std::uint32_t count = reader.u32();
+      m.instances.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) m.instances.push_back(reader.u64());
+      wire.message = std::move(m);
+      break;
+    }
+    case Tag::kCatchupReply: {
+      CatchupReply m;
+      const std::uint32_t count = reader.u32();
+      m.decided.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        CatchupDecided item;
+        item.instance = reader.u64();
+        item.value = reader.bytes();
+        m.decided.push_back(std::move(item));
+      }
+      wire.message = std::move(m);
+      break;
+    }
+    case Tag::kSnapshotOffer: {
+      SnapshotOffer m;
+      m.next_instance = reader.u64();
+      m.state = reader.bytes();
+      m.reply_cache = reader.bytes();
+      wire.message = std::move(m);
+      break;
+    }
+    default:
+      throw DecodeError("unknown message tag");
+  }
+  if (!reader.at_end()) throw DecodeError("trailing bytes after message");
+  return wire;
+}
+
+const char* message_name(const Message& message) {
+  struct Namer {
+    const char* operator()(const Prepare&) const { return "Prepare"; }
+    const char* operator()(const PrepareOk&) const { return "PrepareOk"; }
+    const char* operator()(const Propose&) const { return "Propose"; }
+    const char* operator()(const Accept&) const { return "Accept"; }
+    const char* operator()(const Heartbeat&) const { return "Heartbeat"; }
+    const char* operator()(const CatchupQuery&) const { return "CatchupQuery"; }
+    const char* operator()(const CatchupReply&) const { return "CatchupReply"; }
+    const char* operator()(const SnapshotOffer&) const { return "SnapshotOffer"; }
+  };
+  return std::visit(Namer{}, message);
+}
+
+}  // namespace mcsmr::paxos

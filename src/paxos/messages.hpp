@@ -1,0 +1,108 @@
+// Wire messages of the replication protocol.
+//
+// The protocol is view-based MultiPaxos (the paper's JPaxos core):
+//   Prepare/PrepareOk   — Phase 1, run once per view change over the
+//                         whole undecided log suffix;
+//   Propose             — Phase 2a, leader assigns a batch to an instance;
+//   Accept              — Phase 2b, broadcast by every acceptor to all
+//                         replicas so each replica learns decisions from a
+//                         majority of Accepts (the leader decides after
+//                         its own accept plus quorum-1 others — exactly
+//                         the "Phase 2b from another replica" of §VI-D2);
+//   Heartbeat           — leader liveness + its first-undecided hint,
+//                         which also drives catch-up targeting;
+//   CatchupQuery/Reply  — decided-value transfer for lagging replicas;
+//   SnapshotOffer       — state transfer when the sender has truncated
+//                         its log below the requested instances.
+//
+// Every message is encoded with the common ByteWriter codec and framed by
+// the transport. decode() rejects malformed input with DecodeError.
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "paxos/types.hpp"
+
+namespace mcsmr::paxos {
+
+/// Phase 1a. Sent by a candidate for `view` to all replicas.
+struct Prepare {
+  ViewId view = 0;
+  InstanceId from_instance = 0;  ///< candidate's first undecided slot
+};
+
+/// One log entry reported in a PrepareOk.
+struct PrepareEntry {
+  InstanceId instance = 0;
+  ViewId accepted_view = 0;
+  bool decided = false;
+  Bytes value;
+};
+
+/// Phase 1b. Acceptor's log suffix from `from_instance` upward.
+struct PrepareOk {
+  ViewId view = 0;
+  InstanceId first_undecided = 0;
+  std::vector<PrepareEntry> entries;
+};
+
+/// Phase 2a. Leader proposes `value` (an encoded batch) for `instance`.
+struct Propose {
+  ViewId view = 0;
+  InstanceId instance = 0;
+  Bytes value;
+};
+
+/// Phase 2b. Acceptor accepted (view, instance); broadcast to all.
+struct Accept {
+  ViewId view = 0;
+  InstanceId instance = 0;
+};
+
+/// Leader liveness beacon; `first_undecided` lets followers detect lag.
+struct Heartbeat {
+  ViewId view = 0;
+  InstanceId first_undecided = 0;
+};
+
+/// Request decided values for explicitly listed instances.
+struct CatchupQuery {
+  InstanceId from_instance = 0;
+  std::vector<InstanceId> instances;
+};
+
+/// Decided (instance, value) pairs in response to a CatchupQuery.
+struct CatchupDecided {
+  InstanceId instance = 0;
+  Bytes value;
+};
+struct CatchupReply {
+  std::vector<CatchupDecided> decided;
+};
+
+/// State transfer: service snapshot covering everything < next_instance.
+struct SnapshotOffer {
+  InstanceId next_instance = 0;  ///< first instance NOT covered
+  Bytes state;                   ///< Service::snapshot() payload
+  Bytes reply_cache;             ///< serialized reply cache (at-most-once)
+};
+
+using Message = std::variant<Prepare, PrepareOk, Propose, Accept, Heartbeat, CatchupQuery,
+                             CatchupReply, SnapshotOffer>;
+
+/// Encode message with sender id (receiver needs it for vote counting).
+Bytes encode_message(ReplicaId from, const Message& message);
+
+/// Decoded wire message.
+struct WireMessage {
+  ReplicaId from = 0;
+  Message message;
+};
+/// Throws DecodeError on malformed/unknown input.
+WireMessage decode_message(const Bytes& frame);
+
+/// Human-readable tag for logging/debugging.
+const char* message_name(const Message& message);
+
+}  // namespace mcsmr::paxos

@@ -1,0 +1,53 @@
+// Core identifier types and the client Request record.
+//
+// Terminology mapping to the paper: an ordering "ballot" is one consensus
+// *instance* (a slot in the replicated log); the pipelining window WND
+// bounds how many instances run concurrently; a *view* numbers leadership
+// epochs, with the leader of view v being replica v mod n.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/config.hpp"
+
+namespace mcsmr::paxos {
+
+using ViewId = std::uint64_t;
+using InstanceId = std::uint64_t;
+using ClientId = std::uint64_t;
+using RequestSeq = std::uint64_t;
+
+/// One client command as carried inside a batch. `seq` is the client's
+/// monotonically increasing request number, used by the reply cache for
+/// at-most-once execution (§III-B).
+struct Request {
+  ClientId client_id = 0;
+  RequestSeq seq = 0;
+  Bytes payload;
+
+  bool operator==(const Request&) const = default;
+
+  void encode(ByteWriter& writer) const {
+    writer.u64(client_id);
+    writer.u64(seq);
+    writer.bytes(payload);
+  }
+  static Request decode(ByteReader& reader) {
+    Request request;
+    request.client_id = reader.u64();
+    request.seq = reader.u64();
+    request.payload = reader.bytes();
+    return request;
+  }
+
+  /// Serialized footprint (used by the batching policy against BSZ).
+  std::size_t encoded_size() const { return 8 + 8 + 4 + payload.size(); }
+};
+
+/// Encode a batch (the value ordered by one consensus instance).
+Bytes encode_batch(const std::vector<Request>& requests);
+/// Decode a batch; throws DecodeError on malformed input.
+std::vector<Request> decode_batch(const Bytes& value);
+
+}  // namespace mcsmr::paxos

@@ -1,0 +1,27 @@
+// Calibration: extract real per-stage CPU demands from a live run of the
+// actual threaded implementation on this host.
+//
+// A short SimNet experiment (real replicas, real swarm) is run while the
+// per-thread CPU accounting records each stage's busy time; dividing by
+// the number of completed requests yields the ns-per-request demand of
+// every stage, which can then seed SmrCostProfile so the core-sweep model
+// extrapolates *this machine's* costs rather than the built-in paper-shape
+// defaults. Benches accept `--calibrate` to use this.
+#pragma once
+
+#include "sim/model.hpp"
+
+namespace mcsmr::sim {
+
+struct CalibrationResult {
+  SmrCostProfile profile;
+  double measured_throughput_rps = 0;
+  std::uint64_t requests_completed = 0;
+  bool ok = false;
+};
+
+/// Run a `duration_ns` load experiment on a 3-replica SimNet cluster and
+/// derive stage demands from the leader's thread CPU accounting.
+CalibrationResult calibrate_smr(std::uint64_t duration_ns = 2'000'000'000);
+
+}  // namespace mcsmr::sim

@@ -1,0 +1,220 @@
+#include "sim/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcsmr::sim {
+
+namespace {
+constexpr double kMss = 1448.0;
+
+double packets_for(double bytes) { return std::max(1.0, std::ceil(bytes / kMss)); }
+}  // namespace
+
+double ScalingCurve::at(double cores) const {
+  if (points.empty() || cores <= points.front().first) return points.front().second;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (cores <= points[i].first) {
+      const auto& [x0, y0] = points[i - 1];
+      const auto& [x1, y1] = points[i];
+      return y0 + (y1 - y0) * (cores - x0) / (x1 - x0);
+    }
+  }
+  // Continue the final slope beyond the last calibration point.
+  const auto& [x0, y0] = points[points.size() - 2];
+  const auto& [x1, y1] = points.back();
+  const double slope = (y1 - y0) / (x1 - x0);
+  return y1 + slope * (cores - x1);
+}
+
+double requests_per_batch(double batch_bytes, double request_bytes) {
+  const double encoded = request_bytes + 24;  // client_id + seq + length prefix
+  return std::max(1.0, std::floor((batch_bytes - 4) / encoded));
+}
+
+ModelOutput SmrModel::evaluate(const ModelInput& input) const {
+  ModelOutput out;
+  const double b = requests_per_batch(input.batch_bytes, input.request_bytes);
+  const int peers = input.n - 1;
+
+  // Per-request demand of each stage (ns).
+  const double d_cio = profile_.clientio_ns;
+  const double d_bat = profile_.batcher_ns;
+  const double d_prot =
+      (profile_.protocol_batch_ns + peers * 2.0 * profile_.protocol_msg_ns) / b;
+  const double d_sm = profile_.replica_exec_ns;
+  const double d_snd = profile_.replicaio_snd_batch_ns / b;  // per peer thread
+  const double d_rcv = profile_.replicaio_rcv_msg_ns / b;    // per peer thread
+  const double total_demand_ns =
+      d_cio + d_bat + d_prot + d_sm + peers * (d_snd + d_rcv);
+
+  // --- Bound (1): CPU-region scaling curve --------------------------------
+  const double x1 = 1e9 / (total_demand_ns * profile_.single_core_tax);
+  const double x_curve = x1 * curve_.at(input.cores);
+
+  // --- Bound (2): per-thread serial limits --------------------------------
+  const double x_clientio = input.clientio_threads * 1e9 / d_cio;
+  const double x_batcher = 1e9 / d_bat;
+  const double x_protocol = 1e9 / d_prot;
+  const double x_replica = 1e9 / d_sm;
+  const double x_snd = 1e9 / d_snd;
+  const double x_rcv = 1e9 / d_rcv;
+
+  // --- Bound (3): leader NIC packet budget ---------------------------------
+  // Out: one reply/packet per request + the batch to each follower.
+  out.packets_out_per_req = 1.0 + peers * packets_for(input.batch_bytes) / b;
+  // In: one request/packet + one Accept per batch from each follower.
+  out.packets_in_per_req = 1.0 + peers * 1.0 / b;
+  double nic_pps = input.nic_pps;
+  if (input.clientio_threads > 8) {
+    nic_pps *= std::max(0.3, 1.0 - input.nic_io_thread_penalty *
+                                       (input.clientio_threads - 8));
+  }
+  const double x_nic =
+      nic_pps / std::max(out.packets_out_per_req, out.packets_in_per_req);
+
+  // --- Bound (4): closed-loop client population ----------------------------
+  const double base_latency_ns = input.rtt_ns + total_demand_ns;
+  const double x_clients = input.clients * 1e9 / base_latency_ns;
+
+  struct Bound {
+    double x;
+    const char* name;
+  };
+  const Bound bounds[] = {
+      {x_curve, "cpu"},           {x_clientio, "ClientIO pool"},
+      {x_batcher, "Batcher"},     {x_protocol, "Protocol"},
+      {x_replica, "Replica"},     {x_snd, "ReplicaIOSnd"},
+      {x_rcv, "ReplicaIORcv"},    {x_nic, "leader NIC pps"},
+      {x_clients, "client population"},
+  };
+  const Bound* binding = &bounds[0];
+  for (const auto& bound : bounds) {
+    if (bound.x < binding->x) binding = &bound;
+  }
+
+  out.throughput_rps = binding->x;
+  out.bottleneck = binding->name;
+  out.speedup = out.throughput_rps / x1;
+
+  // CPU utilisation: per-request demand shrinks as cores stop being shared
+  // (fewer context switches, better caching — the paper's Fig 5a/7
+  // observation that CPU grows ~3x for a ~7x speedup).
+  const double tax =
+      1.0 + (profile_.single_core_tax - 1.0) / std::max(1.0, static_cast<double>(input.cores));
+  const double demand_now_ns = total_demand_ns * tax;
+  out.total_cpu_cores = out.throughput_rps * demand_now_ns / 1e9;
+
+  // Per-thread busy fractions at the solution.
+  const double x = out.throughput_rps;
+  for (int t = 0; t < input.clientio_threads; ++t) {
+    out.thread_busy_frac["ClientIO-" + std::to_string(t)] =
+        x * d_cio / input.clientio_threads / 1e9;
+  }
+  out.thread_busy_frac["Batcher"] = x * d_bat / 1e9;
+  out.thread_busy_frac["Protocol"] = x * d_prot / 1e9;
+  out.thread_busy_frac["Replica"] = x * d_sm / 1e9;
+  for (int p = 0; p < peers; ++p) {
+    out.thread_busy_frac["ReplicaIOSnd-" + std::to_string(p)] = x * d_snd / 1e9;
+    out.thread_busy_frac["ReplicaIORcv-" + std::to_string(p)] = x * d_rcv / 1e9;
+  }
+
+  // Contention: the architecture shares no locks beyond queue hand-offs;
+  // blocked time stays a small, load-proportional sliver (paper: <20% of
+  // one core in aggregate).
+  const double load = std::min(1.0, x / std::max(x_nic, x_curve));
+  out.total_blocked_cores = 0.18 * load;
+
+  // Instance latency: RTT plus NIC queueing as the budget saturates
+  // (M/M/1-style inflation, capped by the pipelining window).
+  const double nic_load =
+      std::min(0.995, x * std::max(out.packets_out_per_req, out.packets_in_per_req) / nic_pps);
+  const double queueing = input.rtt_ns * nic_load / std::max(0.05, 1.0 - nic_load);
+  out.instance_latency_ns = input.rtt_ns + std::min(queueing, 40.0 * input.rtt_ns);
+  return out;
+}
+
+ModelOutput ZkModel::evaluate(const ModelInput& input) const {
+  ModelOutput out;
+  const int peers = input.n - 1;
+
+  // All costs are per request (no batching in the baseline).
+  const double lock_demand =
+      profile_.lock_prep_ns + profile_.lock_propose_ns +
+      peers * profile_.lock_ack_ns + profile_.lock_commit_ns;
+  const double off_lock = profile_.clientio_ns + profile_.sync_ns +
+                          profile_.off_lock_commit_ns;
+  const double total_demand_ns = lock_demand + off_lock;
+
+  // Threads that actually contend for the global lock.
+  const double lock_users = 3.0 + peers;  // prep, sync, commit + learner handlers
+  const double contenders =
+      std::min(static_cast<double>(input.cores), lock_users);
+  // Cache-line bouncing inflates the lock's service time as more cores run
+  // contenders truly in parallel — this is the collapse mechanism.
+  const double lock_eff_ns =
+      lock_demand * (1.0 + profile_.lock_bounce_per_core * std::max(0.0, contenders - 1.0) *
+                               std::max(1.0, input.cores / 4.0));
+
+  const double x1 = 1e9 / (total_demand_ns * profile_.single_core_tax);
+  // CPU region: modest near-linear scaling while cores are scarce.
+  const double x_cpu = x1 * std::min(static_cast<double>(input.cores), lock_users) * 1.45;
+  const double x_lock = 1e9 / lock_eff_ns;
+  // Per-request proposals, but Zab coalesces protocol messages on its
+  // persistent TCP streams, so the per-request packet cost stays modest —
+  // the paper's ZooKeeper never reaches the NIC limit.
+  const double zk_pkts_per_req = 1.0 + peers * 0.25;
+  const double x_nic = input.nic_pps / zk_pkts_per_req;
+  const double x_clients =
+      input.clients * 1e9 / (input.rtt_ns + total_demand_ns);
+
+  struct Bound {
+    double x;
+    const char* name;
+  };
+  const Bound bounds[] = {{x_cpu, "cpu"},
+                          {x_lock, "global leader lock"},
+                          {x_nic, "leader NIC pps"},
+                          {x_clients, "client population"}};
+  const Bound* binding = &bounds[0];
+  for (const auto& bound : bounds) {
+    if (bound.x < binding->x) binding = &bound;
+  }
+
+  out.throughput_rps = binding->x;
+  out.bottleneck = binding->name;
+  out.speedup = out.throughput_rps / x1;
+
+  const double tax = 1.0 + (profile_.single_core_tax - 1.0) /
+                               std::max(1.0, static_cast<double>(input.cores));
+  // Spinning/handoff on the contended lock burns CPU beyond useful work.
+  const double lock_waste = (lock_eff_ns - lock_demand);
+  out.total_cpu_cores =
+      out.throughput_rps * (total_demand_ns * tax + lock_waste * contenders * 0.5) / 1e9;
+
+  // Aggregate blocked time: each of the other contenders waits while the
+  // lock is held; near saturation this exceeds 100% of one core (Fig 13b).
+  const double rho = std::min(0.98, out.throughput_rps * lock_eff_ns / 1e9);
+  out.total_blocked_cores = rho * (contenders - 1.0) * 0.45;
+
+  // Per-thread picture (Fig 1b / Fig 14): CommitProcessor and the
+  // LearnerHandlers live on the lock; busy+blocked ~ saturated.
+  const double x = out.throughput_rps;
+  out.thread_busy_frac["ProcessThread"] =
+      x * (profile_.lock_prep_ns + profile_.clientio_ns * 0.3) / 1e9;
+  out.thread_busy_frac["SyncThread"] = x * profile_.sync_ns / 1e9;
+  out.thread_busy_frac["CommitProcessor"] =
+      x * (profile_.lock_commit_ns + profile_.off_lock_commit_ns) / 1e9;
+  for (int p = 0; p < peers; ++p) {
+    out.thread_busy_frac["LearnerHandler-" + std::to_string(p)] =
+        x * profile_.lock_ack_ns * 2.0 / 1e9;
+    out.thread_busy_frac["Sender-" + std::to_string(p)] = x * 2'500 / 1e9;
+  }
+
+  out.packets_out_per_req = 1.0 + peers * 0.25;
+  out.packets_in_per_req = 1.0 + peers * 0.25;
+  out.instance_latency_ns = input.rtt_ns + lock_eff_ns;
+  return out;
+}
+
+}  // namespace mcsmr::sim

@@ -1,0 +1,139 @@
+// Performance models for core-count sweeps (the figures this host's two
+// cores cannot produce natively: Figs 1, 4, 5, 6, 7, 9, 12, 13 and the
+// 24-core columns of Figs 8/14).
+//
+// The model is a *calibrated bottleneck analysis* — the paper's own §VI-B
+// reasoning made executable. Throughput at K cores is the minimum of:
+//
+//   (1) the CPU-region scaling curve: X1 x speedup(K), where X1 (1-core
+//       throughput) follows from the measured/condfigured per-request CPU
+//       demands and speedup(K) is an explicit efficiency curve (defaults
+//       reproduce the paper's measured near-linear region; the calibrator
+//       can overwrite X1 from a real run on this host);
+//   (2) per-thread serial bounds: no stage can exceed 1/demand on its
+//       single thread (Batcher, Protocol, Replica) or k/demand for the
+//       ClientIO pool — first principles, no fitting;
+//   (3) the leader NIC packet budget: per-direction packets/s divided by
+//       packets-per-request at the given batch size — first principles;
+//   (4) the closed-loop client population.
+//
+// For the ZooKeeper-like baseline there is no empirical curve: the global
+// lock's serial demand per request, inflated by a per-core cache-bouncing
+// factor, produces the rise-then-collapse of Fig 1a analytically.
+//
+// Everything the paper plots is derivable from the solution: per-thread
+// busy fractions (X x d_i), total CPU (X x D(K)), aggregate lock-blocked
+// time, speedups, and the binding bottleneck's name.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mcsmr::sim {
+
+/// Per-request CPU demands (nanoseconds) of each stage of the mcsmr
+/// architecture, plus protocol constants. Defaults are calibrated so the
+/// 1-core throughput and stage ratios match the paper's parapluie cluster
+/// (Fig 8a: ClientIO + Batcher ~ 80% of one core at 1 core).
+struct SmrCostProfile {
+  double clientio_ns = 24'000;        ///< read+deserialize+cache+serialize reply
+  double batcher_ns = 6'500;          ///< batch formation, per request
+  double protocol_batch_ns = 14'000;  ///< leader event-loop work per batch
+  double protocol_msg_ns = 3'000;     ///< per peer message through the loop
+  double replica_exec_ns = 6'000;     ///< ServiceManager per request
+  double replicaio_snd_batch_ns = 6'000;  ///< serialize+enqueue one batch, per peer
+  double replicaio_rcv_msg_ns = 4'000;    ///< read+decode one peer message
+
+  /// 1-core context-switch/caching tax (CPU utilisation grows ~4x for a
+  /// ~6x speedup on parapluie, Fig 5a => the 1-core run wastes ~1/3 of its
+  /// cycles on sharing overhead; edel's profile uses a higher tax).
+  double single_core_tax = 1.5;
+};
+
+/// Baseline (ZooKeeper-like) stage demands. No batching: all costs are per
+/// request. `lock_*` portions are executed while holding the global lock.
+struct ZkCostProfile {
+  double clientio_ns = 26'000;
+  double lock_prep_ns = 4'000;
+  double sync_ns = 9'000;          ///< log append (off-lock)
+  double lock_propose_ns = 4'500;
+  double lock_ack_ns = 2'500;      ///< per follower ack, under the lock
+  double lock_commit_ns = 4'500;   ///< CommitProcessor apply, under the lock
+  double off_lock_commit_ns = 5'000;
+  /// Lock service-time inflation per additional actively-contending core
+  /// (cache-line bouncing / convoy). Produces the >4-core collapse.
+  double lock_bounce_per_core = 0.05;
+  double single_core_tax = 1.25;
+};
+
+/// Empirical CPU-region speedup curve (bound (1)). Points are linearly
+/// interpolated; beyond the last point the final slope continues. The
+/// default reproduces the paper's measured near-linear region.
+struct ScalingCurve {
+  std::vector<std::pair<double, double>> points = {
+      {1, 1.0}, {2, 1.95}, {4, 3.85}, {6, 5.7}, {8, 7.0}, {12, 8.2}, {16, 9.0}, {24, 10.0}};
+  double at(double cores) const;
+};
+
+struct ModelInput {
+  int cores = 1;
+  int n = 3;                  ///< replicas
+  int clients = 1800;
+  int clientio_threads = 4;
+  std::uint32_t window = 10;  ///< WND
+  double batch_bytes = 1300;  ///< BSZ
+  double request_bytes = 128;
+  double reply_bytes = 8;
+  double nic_pps = 150'000;   ///< per-direction leader packet budget
+  double rtt_ns = 60'000;     ///< idle network RTT
+  /// NIC efficiency degradation per ClientIO thread beyond 8 (the Fig 9
+  /// dip the paper attributes to kernel TCP-stack scalability).
+  double nic_io_thread_penalty = 0.04;
+};
+
+struct ModelOutput {
+  double throughput_rps = 0;
+  double speedup = 1;
+  double total_cpu_cores = 0;       ///< paper's "% of single core" / 100
+  double total_blocked_cores = 0;   ///< aggregate lock-blocked time, in cores
+  std::map<std::string, double> thread_busy_frac;  ///< per-thread utilisation
+  std::string bottleneck;
+  double packets_out_per_req = 0;
+  double packets_in_per_req = 0;
+  double instance_latency_ns = 0;   ///< leader propose->decide latency
+};
+
+/// Requests that fit in one batch of `batch_bytes` (encoded-size model).
+double requests_per_batch(double batch_bytes, double request_bytes);
+
+class SmrModel {
+ public:
+  SmrModel() = default;
+  SmrModel(SmrCostProfile profile, ScalingCurve curve)
+      : profile_(profile), curve_(curve) {}
+
+  ModelOutput evaluate(const ModelInput& input) const;
+
+  SmrCostProfile& profile() { return profile_; }
+
+ private:
+  SmrCostProfile profile_;
+  ScalingCurve curve_;
+};
+
+class ZkModel {
+ public:
+  ZkModel() = default;
+  explicit ZkModel(ZkCostProfile profile) : profile_(profile) {}
+
+  ModelOutput evaluate(const ModelInput& input) const;
+
+  ZkCostProfile& profile() { return profile_; }
+
+ private:
+  ZkCostProfile profile_;
+};
+
+}  // namespace mcsmr::sim

@@ -1,0 +1,73 @@
+#include "smr/batcher.hpp"
+
+namespace mcsmr::smr {
+
+Batcher::Batcher(const Config& config, RequestQueue& requests, ProposalQueue& proposals,
+                 DispatcherQueue& dispatcher, SharedState& shared)
+    : config_(config), requests_(requests), proposals_(proposals), dispatcher_(dispatcher),
+      shared_(shared) {}
+
+Batcher::~Batcher() { stop(); }
+
+void Batcher::start() {
+  if (started_) return;
+  started_ = true;
+  thread_ = metrics::NamedThread(config_.thread_name_prefix + "Batcher", [this] { run(); });
+}
+
+void Batcher::stop() {
+  // run() exits when the RequestQueue closes; just join.
+  thread_.join();
+  started_ = false;
+}
+
+bool Batcher::ship(Bytes batch) {
+  batches_built_.fetch_add(1, std::memory_order_relaxed);
+  if (!proposals_.push(std::move(batch))) return false;  // blocking: flow control
+  // Wake the Protocol thread; if the dispatcher is busy/full it will pull
+  // from the ProposalQueue on its own anyway.
+  dispatcher_.try_push(ProposalReadyEvent{});
+  return true;
+}
+
+void Batcher::run() {
+  paxos::BatchBuilder builder(config_.batch_max_bytes, config_.batch_timeout_ns);
+  for (;;) {
+    std::optional<paxos::Request> request;
+    if (auto deadline = builder.deadline_ns()) {
+      const std::uint64_t now = mono_ns();
+      if (*deadline > now) {
+        request = requests_.pop_for(*deadline - now);
+      }
+    } else {
+      request = requests_.pop();  // idle: block until work arrives
+    }
+
+    const std::uint64_t now = mono_ns();
+    if (request.has_value()) {
+      for (auto& batch : builder.add(std::move(*request), now)) {
+        if (!ship(std::move(batch))) return;
+      }
+      // Early close (§V-C1): pipeline has room and the Protocol thread has
+      // nothing queued ahead — don't make it wait out the batch timeout.
+      if (!builder.empty() &&
+          shared_.window_in_use.load(std::memory_order_relaxed) < config_.window_size &&
+          proposals_.size() == 0) {
+        if (auto batch = builder.poll(now, /*force=*/true)) {
+          if (!ship(std::move(*batch))) return;
+        }
+      }
+    } else if (requests_.closed() && requests_.size() == 0) {
+      // Drain the tail and exit.
+      if (auto batch = builder.poll(now, /*force=*/true)) ship(std::move(*batch));
+      return;
+    }
+
+    // Timeout-driven flush of a stale partial batch.
+    if (auto batch = builder.poll(now)) {
+      if (!ship(std::move(*batch))) return;
+    }
+  }
+}
+
+}  // namespace mcsmr::smr

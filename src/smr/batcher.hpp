@@ -1,0 +1,50 @@
+// Batcher thread (§V-C1): builds batches concurrently with ordering,
+// taking batch formation off the Protocol thread's critical path.
+//
+// Pulls requests from the RequestQueue, feeds the BatchBuilder (BSZ +
+// timeout policy), and pushes closed batches onto the bounded
+// ProposalQueue — whose fullness is precisely the backpressure point that
+// stalls this thread and, transitively, the ClientIO threads (§V-E).
+//
+// Per the paper, the Batcher reads the Protocol thread's count of ballots
+// in execution through a shared atomic (the "volatile variable"): when the
+// pipeline has room and nothing is queued ahead, a partial batch is closed
+// early instead of waiting out its timeout, keeping the window full.
+#pragma once
+
+#include "metrics/thread_stats.hpp"
+#include "paxos/batch_builder.hpp"
+#include "smr/events.hpp"
+#include "smr/shared_state.hpp"
+
+namespace mcsmr::smr {
+
+class Batcher {
+ public:
+  Batcher(const Config& config, RequestQueue& requests, ProposalQueue& proposals,
+          DispatcherQueue& dispatcher, SharedState& shared);
+  ~Batcher();
+
+  void start();
+  /// Stops after draining what is already buffered. Closing the
+  /// RequestQueue is the caller's job (Replica::stop does it).
+  void stop();
+
+  std::uint64_t batches_built() const { return batches_built_.load(std::memory_order_relaxed); }
+
+ private:
+  void run();
+  bool ship(Bytes batch);
+
+  const Config& config_;
+  RequestQueue& requests_;
+  ProposalQueue& proposals_;
+  DispatcherQueue& dispatcher_;
+  SharedState& shared_;
+
+  std::atomic<std::uint64_t> batches_built_{0};
+  metrics::NamedThread thread_;
+  bool started_ = false;
+};
+
+}  // namespace mcsmr::smr

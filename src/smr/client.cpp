@@ -1,0 +1,141 @@
+#include "smr/client.hpp"
+
+#include <poll.h>
+
+#include "common/clock.hpp"
+#include "common/logging.hpp"
+#include "smr/transport.hpp"
+
+namespace mcsmr::smr {
+
+SimClient::SimClient(net::SimNetwork& net, std::vector<net::NodeId> replica_nodes,
+                     paxos::ClientId id, int io_threads, ClientParams params,
+                     std::size_t initial_leader)
+    : net_(net), replica_nodes_(std::move(replica_nodes)), id_(id),
+      io_threads_(io_threads < 1 ? 1 : io_threads), params_(params),
+      node_(net.add_node("client-" + std::to_string(id))),
+      leader_guess_(initial_leader % replica_nodes_.size()) {}
+
+std::optional<Bytes> SimClient::call(const Bytes& payload) {
+  const paxos::RequestSeq seq = next_seq_++;
+  ClientRequestFrame frame{id_, seq, node_, payload};
+  const Bytes wire = encode_client_request(frame);
+  const net::Channel channel =
+      kClientIoChannelBase +
+      static_cast<net::Channel>(id_ % static_cast<std::uint64_t>(io_threads_));
+
+  for (int attempt = 0; attempt < params_.max_attempts; ++attempt) {
+    net_.send(node_, replica_nodes_[leader_guess_], channel, wire);
+    const std::uint64_t deadline = mono_ns() + params_.reply_timeout_ns;
+    for (;;) {
+      const std::uint64_t now = mono_ns();
+      if (now >= deadline) break;
+      auto message = net_.recv_for(node_, kClientReplyChannel, deadline - now);
+      if (!message.has_value()) break;
+      DecodedClientFrame decoded;
+      try {
+        decoded = decode_client_frame(message->payload);
+      } catch (const DecodeError&) {
+        continue;
+      }
+      if (decoded.kind != ClientFrameKind::kReply) continue;
+      if (decoded.reply.client_id != id_ || decoded.reply.seq != seq) continue;  // stale
+      switch (decoded.reply.status) {
+        case ReplyStatus::kOk:
+          return decoded.reply.payload;
+        case ReplyStatus::kRedirect: {
+          if (auto hint = decode_leader_hint(decoded.reply.payload)) {
+            if (*hint < replica_nodes_.size()) leader_guess_ = *hint;
+          }
+          goto resend;
+        }
+        case ReplyStatus::kRetry:
+          goto resend;
+      }
+    }
+    // Timed out: the leader guess may be dead — rotate.
+    leader_guess_ = (leader_guess_ + 1) % replica_nodes_.size();
+  resend:;
+  }
+  return std::nullopt;
+}
+
+TcpClient::TcpClient(std::vector<std::uint16_t> client_ports, paxos::ClientId id,
+                     ClientParams params, std::size_t initial_leader)
+    : ports_(std::move(client_ports)), id_(id), params_(params),
+      leader_guess_(initial_leader % ports_.size()) {}
+
+bool TcpClient::ensure_connected() {
+  if (conn_.has_value()) return true;
+  conn_ = net::TcpStream::connect("127.0.0.1", ports_[leader_guess_]);
+  return conn_.has_value();
+}
+
+std::optional<Bytes> TcpClient::call(const Bytes& payload) {
+  const paxos::RequestSeq seq = next_seq_++;
+  const Bytes wire =
+      encode_client_request(ClientRequestFrame{id_, seq, /*reply_node=*/0, payload});
+
+  for (int attempt = 0; attempt < params_.max_attempts; ++attempt) {
+    if (!ensure_connected()) {
+      leader_guess_ = (leader_guess_ + 1) % ports_.size();
+      continue;
+    }
+    if (!conn_->send_frame(wire)) {
+      conn_.reset();
+      leader_guess_ = (leader_guess_ + 1) % ports_.size();
+      continue;
+    }
+
+    const std::uint64_t deadline = mono_ns() + params_.reply_timeout_ns;
+    bool resend = false;
+    while (!resend) {
+      const std::uint64_t now = mono_ns();
+      if (now >= deadline) {
+        // Timeout: connection state is unknown; reconnect and rotate.
+        conn_.reset();
+        leader_guess_ = (leader_guess_ + 1) % ports_.size();
+        break;
+      }
+      // Wait for readability so recv_frame cannot block past the deadline.
+      pollfd pfd{conn_->fd(), POLLIN, 0};
+      const int timeout_ms = static_cast<int>((deadline - now) / kMillis) + 1;
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready <= 0) continue;  // loop re-checks the deadline
+
+      auto frame = conn_->recv_frame();
+      if (!frame.has_value()) {
+        conn_.reset();
+        leader_guess_ = (leader_guess_ + 1) % ports_.size();
+        break;
+      }
+      DecodedClientFrame decoded;
+      try {
+        decoded = decode_client_frame(*frame);
+      } catch (const DecodeError&) {
+        continue;
+      }
+      if (decoded.kind != ClientFrameKind::kReply) continue;
+      if (decoded.reply.client_id != id_ || decoded.reply.seq != seq) continue;
+      switch (decoded.reply.status) {
+        case ReplyStatus::kOk:
+          return decoded.reply.payload;
+        case ReplyStatus::kRedirect:
+          if (auto hint = decode_leader_hint(decoded.reply.payload)) {
+            if (*hint < ports_.size() && *hint != leader_guess_) {
+              leader_guess_ = *hint;
+              conn_.reset();
+            }
+          }
+          resend = true;
+          break;
+        case ReplyStatus::kRetry:
+          resend = true;
+          break;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mcsmr::smr

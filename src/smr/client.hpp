@@ -1,0 +1,78 @@
+// Client library: closed-loop callers with leader discovery, redirects,
+// timeouts and same-seq retries (giving at-most-once with the replicas'
+// reply cache, §III-B).
+//
+// SimClient rides the SimNetwork (each client owns one SimNet node);
+// TcpClient holds one TCP connection to its current leader guess and
+// reconnects on redirect or timeout.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/simnet.hpp"
+#include "net/tcp.hpp"
+#include "smr/client_proto.hpp"
+
+namespace mcsmr::smr {
+
+struct ClientParams {
+  std::uint64_t reply_timeout_ns = 500'000'000;  ///< per-attempt wait
+  int max_attempts = 40;
+};
+
+/// Closed-loop client over SimNet.
+class SimClient {
+ public:
+  /// `replica_nodes[i]` must be replica i's node (leader hints index it).
+  /// `io_threads` must match the replicas' client_io_threads (it selects
+  /// the inbox channel, standing in for connection assignment).
+  /// `initial_leader` is the first replica tried.
+  SimClient(net::SimNetwork& net, std::vector<net::NodeId> replica_nodes,
+            paxos::ClientId id, int io_threads, ClientParams params = {},
+            std::size_t initial_leader = 0);
+
+  /// Execute one request on the replicated service. Blocks until a reply
+  /// arrives (retrying/redirecting internally); nullopt only if every
+  /// attempt timed out.
+  std::optional<Bytes> call(const Bytes& payload);
+
+  paxos::ClientId id() const { return id_; }
+  net::NodeId node() const { return node_; }
+
+ private:
+  net::SimNetwork& net_;
+  std::vector<net::NodeId> replica_nodes_;
+  paxos::ClientId id_;
+  int io_threads_;
+  ClientParams params_;
+  net::NodeId node_;
+  paxos::RequestSeq next_seq_ = 1;
+  std::size_t leader_guess_ = 0;
+};
+
+/// Closed-loop client over TCP.
+class TcpClient {
+ public:
+  /// `client_ports[i]` is replica i's client port on 127.0.0.1 (leader
+  /// hints index this list). `initial_leader` is the first replica tried.
+  TcpClient(std::vector<std::uint16_t> client_ports, paxos::ClientId id,
+            ClientParams params = {}, std::size_t initial_leader = 0);
+
+  std::optional<Bytes> call(const Bytes& payload);
+
+  paxos::ClientId id() const { return id_; }
+
+ private:
+  bool ensure_connected();
+
+  std::vector<std::uint16_t> ports_;
+  paxos::ClientId id_;
+  ClientParams params_;
+  std::optional<net::TcpStream> conn_;
+  paxos::RequestSeq next_seq_ = 1;
+  std::size_t leader_guess_ = 0;
+};
+
+}  // namespace mcsmr::smr

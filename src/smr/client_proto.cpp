@@ -1,0 +1,60 @@
+#include "smr/client_proto.hpp"
+
+namespace mcsmr::smr {
+
+Bytes encode_client_request(const ClientRequestFrame& frame) {
+  ByteWriter writer(25 + frame.payload.size());
+  writer.u8(static_cast<std::uint8_t>(ClientFrameKind::kRequest));
+  writer.u64(frame.client_id);
+  writer.u64(frame.seq);
+  writer.u32(frame.reply_node);
+  writer.bytes(frame.payload);
+  return writer.take();
+}
+
+Bytes encode_client_reply(const ClientReplyFrame& frame) {
+  ByteWriter writer(22 + frame.payload.size());
+  writer.u8(static_cast<std::uint8_t>(ClientFrameKind::kReply));
+  writer.u64(frame.client_id);
+  writer.u64(frame.seq);
+  writer.u8(static_cast<std::uint8_t>(frame.status));
+  writer.bytes(frame.payload);
+  return writer.take();
+}
+
+DecodedClientFrame decode_client_frame(const Bytes& frame) {
+  ByteReader reader(frame);
+  DecodedClientFrame out;
+  const auto kind = reader.u8();
+  if (kind == static_cast<std::uint8_t>(ClientFrameKind::kRequest)) {
+    out.kind = ClientFrameKind::kRequest;
+    out.request.client_id = reader.u64();
+    out.request.seq = reader.u64();
+    out.request.reply_node = reader.u32();
+    out.request.payload = reader.bytes();
+  } else if (kind == static_cast<std::uint8_t>(ClientFrameKind::kReply)) {
+    out.kind = ClientFrameKind::kReply;
+    out.reply.client_id = reader.u64();
+    out.reply.seq = reader.u64();
+    out.reply.status = static_cast<ReplyStatus>(reader.u8());
+    out.reply.payload = reader.bytes();
+  } else {
+    throw DecodeError("unknown client frame kind");
+  }
+  if (!reader.at_end()) throw DecodeError("trailing bytes in client frame");
+  return out;
+}
+
+Bytes encode_leader_hint(ReplicaId leader) {
+  ByteWriter writer(4);
+  writer.u32(leader);
+  return writer.take();
+}
+
+std::optional<ReplicaId> decode_leader_hint(const Bytes& payload) {
+  if (payload.size() != 4) return std::nullopt;
+  ByteReader reader(payload);
+  return reader.u32();
+}
+
+}  // namespace mcsmr::smr

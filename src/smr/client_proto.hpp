@@ -1,0 +1,57 @@
+// Client <-> replica wire protocol (shared by the TCP and SimNet paths).
+//
+// Request frame:  u8 kind=1 | u64 client_id | u64 seq | u32 reply_node | bytes payload
+// Reply frame:    u8 kind=2 | u64 client_id | u64 seq | u8 status | bytes payload
+//
+// `reply_node` is the SimNet node to answer to (0 and unused over TCP,
+// where the reply rides the request's connection). `seq` must increase by
+// one per client request; the reply cache uses it for at-most-once
+// execution and duplicate-reply service (§III-B).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "paxos/types.hpp"
+
+namespace mcsmr::smr {
+
+enum class ClientFrameKind : std::uint8_t { kRequest = 1, kReply = 2 };
+
+enum class ReplyStatus : std::uint8_t {
+  kOk = 0,
+  kRedirect = 1,  ///< payload carries u32 leader hint
+  kRetry = 2,     ///< no stable leader known; try again later
+};
+
+struct ClientRequestFrame {
+  paxos::ClientId client_id = 0;
+  paxos::RequestSeq seq = 0;
+  std::uint32_t reply_node = 0;
+  Bytes payload;
+};
+
+struct ClientReplyFrame {
+  paxos::ClientId client_id = 0;
+  paxos::RequestSeq seq = 0;
+  ReplyStatus status = ReplyStatus::kOk;
+  Bytes payload;
+};
+
+Bytes encode_client_request(const ClientRequestFrame& frame);
+Bytes encode_client_reply(const ClientReplyFrame& frame);
+
+/// Either side of the protocol, decoded. Throws DecodeError when malformed.
+struct DecodedClientFrame {
+  ClientFrameKind kind;
+  ClientRequestFrame request;  // valid when kind == kRequest
+  ClientReplyFrame reply;      // valid when kind == kReply
+};
+DecodedClientFrame decode_client_frame(const Bytes& frame);
+
+/// Redirect payload helpers.
+Bytes encode_leader_hint(ReplicaId leader);
+std::optional<ReplicaId> decode_leader_hint(const Bytes& payload);
+
+}  // namespace mcsmr::smr

@@ -1,0 +1,88 @@
+#include "smr/failure_detector.hpp"
+
+#include <chrono>
+
+namespace mcsmr::smr {
+
+FailureDetector::FailureDetector(const Config& config, ReplicaId self, ReplicaIo& replica_io,
+                                 DispatcherQueue& dispatcher, SharedState& shared)
+    : config_(config), self_(self), replica_io_(replica_io), dispatcher_(dispatcher),
+      shared_(shared) {}
+
+FailureDetector::~FailureDetector() { stop(); }
+
+void FailureDetector::start() {
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  // Grace period: nobody is suspected before traffic has had a chance.
+  const std::uint64_t now = mono_ns();
+  for (int peer = 0; peer < config_.n; ++peer) {
+    shared_.last_recv_ns[static_cast<std::size_t>(peer)].store(now,
+                                                               std::memory_order_relaxed);
+  }
+  thread_ = metrics::NamedThread(config_.thread_name_prefix + "FailureDetector", [this] { run(); });
+}
+
+void FailureDetector::stop() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  started_ = false;
+}
+
+void FailureDetector::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::uint64_t tick_ns = config_.fd_heartbeat_interval_ns / 2;
+  while (!stopping_) {
+    lock.unlock();
+    tick(mono_ns());
+    lock.lock();
+    metrics::WaitingTimer timer;
+    cv_.wait_for(lock, std::chrono::nanoseconds(tick_ns), [this] { return stopping_; });
+  }
+}
+
+void FailureDetector::tick(std::uint64_t now) {
+  const std::uint64_t view = shared_.view.load(std::memory_order_relaxed);
+  const bool is_leader = shared_.is_leader.load(std::memory_order_relaxed);
+
+  if (is_leader) {
+    if (now - last_heartbeat_ns_ >= config_.fd_heartbeat_interval_ns) {
+      last_heartbeat_ns_ = now;
+      // Built from published atomics; slight staleness is harmless since
+      // both fields are monotonic.
+      replica_io_.broadcast(paxos::Heartbeat{
+          view, shared_.first_undecided.load(std::memory_order_relaxed)});
+    }
+  } else {
+    const auto leader = config_.leader_of_view(view);
+    if (leader != self_) {
+      const std::uint64_t last =
+          shared_.last_recv_ns[leader].load(std::memory_order_relaxed);
+      // Stagger by rank distance so the next replica in line suspects
+      // first and usually wins the election without dueling candidates.
+      const std::uint64_t rank =
+          (static_cast<std::uint64_t>(self_) + static_cast<std::uint64_t>(config_.n) -
+           leader) %
+          static_cast<std::uint64_t>(config_.n);
+      const std::uint64_t deadline = config_.fd_suspect_timeout_ns +
+                                     (rank - 1) * config_.fd_heartbeat_interval_ns * 2;
+      if (now > last && now - last > deadline && last_suspected_view_ != view) {
+        last_suspected_view_ = view;
+        dispatcher_.try_push(SuspectEvent{view});
+      }
+    }
+  }
+
+  if (now - last_catchup_tick_ns_ >= config_.catchup_interval_ns) {
+    last_catchup_tick_ns_ = now;
+    dispatcher_.try_push(CatchupTickEvent{});
+  }
+}
+
+}  // namespace mcsmr::smr

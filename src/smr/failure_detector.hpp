@@ -1,0 +1,57 @@
+// FailureDetector thread (§V-C3).
+//
+// A dedicated thread gives much better timing guarantees than folding
+// timers into the event loop. Behavior:
+//   * when this replica leads (published atomic), broadcast a heartbeat
+//     carrying (view, first_undecided) every heartbeat interval — built
+//     from the Protocol thread's published atomics, so the FD never
+//     touches protocol state;
+//   * otherwise watch the leader's last_recv timestamp (written directly
+//     by the ReplicaIORcv threads with no notification — safe because
+//     timestamps only increase) and push a SuspectEvent when it goes
+//     stale. Suspicion is staggered by rank distance from the leader so
+//     the next-in-line replica usually wins the election without dueling;
+//   * doubles as the housekeeping timer: emits CatchupTickEvents.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "metrics/thread_stats.hpp"
+#include "smr/events.hpp"
+#include "smr/replica_io.hpp"
+#include "smr/shared_state.hpp"
+
+namespace mcsmr::smr {
+
+class FailureDetector {
+ public:
+  FailureDetector(const Config& config, ReplicaId self, ReplicaIo& replica_io,
+                  DispatcherQueue& dispatcher, SharedState& shared);
+  ~FailureDetector();
+
+  void start();
+  void stop();
+
+ private:
+  void run();
+  void tick(std::uint64_t now);
+
+  const Config& config_;
+  const ReplicaId self_;
+  ReplicaIo& replica_io_;
+  DispatcherQueue& dispatcher_;
+  SharedState& shared_;
+
+  std::uint64_t last_heartbeat_ns_ = 0;
+  std::uint64_t last_catchup_tick_ns_ = 0;
+  std::uint64_t last_suspected_view_ = UINT64_MAX;  // suspect each view once
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  metrics::NamedThread thread_;
+};
+
+}  // namespace mcsmr::smr

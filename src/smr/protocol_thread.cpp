@@ -1,0 +1,122 @@
+#include "smr/protocol_thread.hpp"
+
+namespace mcsmr::smr {
+
+ProtocolThread::ProtocolThread(const Config& config, paxos::Engine& engine,
+                               DispatcherQueue& dispatcher, ProposalQueue& proposals,
+                               DecisionQueue& decisions, ReplicaIo& replica_io,
+                               Retransmitter& retransmitter, SharedState& shared)
+    : config_(config), engine_(engine), dispatcher_(dispatcher), proposals_(proposals),
+      decisions_(decisions), replica_io_(replica_io), retransmitter_(retransmitter),
+      shared_(shared) {}
+
+ProtocolThread::~ProtocolThread() { stop(); }
+
+void ProtocolThread::start() {
+  if (running_.exchange(true)) return;
+  thread_ = metrics::NamedThread(config_.thread_name_prefix + "Protocol", [this] { run(); });
+}
+
+void ProtocolThread::stop() {
+  running_.store(false);
+  dispatcher_.close();  // wakes the loop
+  thread_.join();
+}
+
+void ProtocolThread::run() {
+  engine_.start(effects_);
+  apply_effects();
+  publish();
+
+  while (running_.load(std::memory_order_relaxed)) {
+    auto event = dispatcher_.pop_for(2 * kMillis);
+    if (event.has_value()) {
+      handle(*event);
+      // Drain whatever else is ready before considering proposals, so
+      // protocol messages keep priority over new work.
+      while (auto more = dispatcher_.try_pop()) handle(*more);
+    }
+    pull_proposals();
+    publish();
+  }
+}
+
+void ProtocolThread::handle(DispatchEvent& event) {
+  std::visit(
+      [&](auto& e) {
+        using T = std::decay_t<decltype(e)>;
+        if constexpr (std::is_same_v<T, PeerMessageEvent>) {
+          engine_.on_message(e.from, e.message, effects_);
+        } else if constexpr (std::is_same_v<T, SuspectEvent>) {
+          // Only act if the suspicion is about the current view; a view
+          // change after the FD pushed the event supersedes it.
+          if (e.suspected_view == engine_.view()) {
+            engine_.on_suspect_leader(effects_);
+          }
+        } else if constexpr (std::is_same_v<T, ProposalReadyEvent>) {
+          // Wake-up only; pull_proposals() does the work.
+        } else if constexpr (std::is_same_v<T, CatchupTickEvent>) {
+          engine_.on_catchup_timer(effects_);
+        } else if constexpr (std::is_same_v<T, LocalSnapshotEvent>) {
+          engine_.on_local_snapshot(e.next_instance);
+        }
+      },
+      event);
+  apply_effects();
+}
+
+void ProtocolThread::pull_proposals() {
+  while (engine_.is_leader() && engine_.window_available()) {
+    auto batch = proposals_.try_pop();
+    if (!batch.has_value()) break;
+    engine_.on_batch(std::move(*batch), effects_);
+    apply_effects();
+  }
+}
+
+void ProtocolThread::apply_effects() {
+  for (auto& effect : effects_) {
+    std::visit(
+        [&](auto& e) {
+          using T = std::decay_t<decltype(e)>;
+          if constexpr (std::is_same_v<T, paxos::SendTo>) {
+            replica_io_.send(e.to, e.message);
+          } else if constexpr (std::is_same_v<T, paxos::BroadcastMsg>) {
+            replica_io_.broadcast(e.message);
+          } else if constexpr (std::is_same_v<T, paxos::Deliver>) {
+            shared_.decided_instances.fetch_add(1, std::memory_order_relaxed);
+            decisions_.push(Decision{e.instance, std::move(e.value)});
+          } else if constexpr (std::is_same_v<T, paxos::ScheduleRetransmit>) {
+            retransmitter_.schedule(e.key, std::move(e.message));
+          } else if constexpr (std::is_same_v<T, paxos::CancelRetransmit>) {
+            retransmitter_.cancel(e.key);
+          } else if constexpr (std::is_same_v<T, paxos::CancelAllRetransmits>) {
+            retransmitter_.cancel_all();
+          } else if constexpr (std::is_same_v<T, paxos::ViewChanged>) {
+            shared_.view.store(e.view, std::memory_order_relaxed);
+            shared_.is_leader.store(e.is_leader, std::memory_order_relaxed);
+            if (!e.is_leader) {
+              // Batches staged for a leadership we no longer hold would
+              // wedge the bounded ProposalQueue; drop them — clients
+              // retry against the new leader, execution-time dedup keeps
+              // at-most-once.
+              while (auto stale = proposals_.try_pop()) {
+                shared_.dropped_batches.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+          } else if constexpr (std::is_same_v<T, paxos::InstallSnapshot>) {
+            decisions_.push(SnapshotInstallEvent{e.next_instance, std::move(e.state),
+                                                 std::move(e.reply_cache)});
+          }
+        },
+        effect);
+  }
+  effects_.clear();
+}
+
+void ProtocolThread::publish() {
+  shared_.window_in_use.store(engine_.window_in_use(), std::memory_order_relaxed);
+  shared_.first_undecided.store(engine_.first_undecided(), std::memory_order_relaxed);
+}
+
+}  // namespace mcsmr::smr

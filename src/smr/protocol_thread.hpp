@@ -1,0 +1,59 @@
+// Protocol thread (§V-C2): the single event loop at the heart of the
+// ReplicationCore, and the only thread that touches the paxos::Engine and
+// the replicated log.
+//
+// Input: the DispatcherQueue (peer messages, suspicions, ticks) plus the
+// ProposalQueue (ready batches, pulled whenever this replica leads with
+// pipeline room — the ProposalReadyEvent on the dispatcher is just a
+// wake-up). Output: engine Effects fanned out to the ReplicaIO send
+// queues, the Retransmitter, and the DecisionQueue.
+//
+// After every event the thread publishes (view, is_leader, window_in_use,
+// first_undecided) to the SharedState atomics — the "volatile variables"
+// other module threads read without locks.
+#pragma once
+
+#include <atomic>
+
+#include "metrics/thread_stats.hpp"
+#include "paxos/engine.hpp"
+#include "smr/events.hpp"
+#include "smr/replica_io.hpp"
+#include "smr/reply_cache.hpp"
+#include "smr/retransmitter.hpp"
+#include "smr/shared_state.hpp"
+
+namespace mcsmr::smr {
+
+class ProtocolThread {
+ public:
+  ProtocolThread(const Config& config, paxos::Engine& engine, DispatcherQueue& dispatcher,
+                 ProposalQueue& proposals, DecisionQueue& decisions, ReplicaIo& replica_io,
+                 Retransmitter& retransmitter, SharedState& shared);
+  ~ProtocolThread();
+
+  void start();
+  void stop();
+
+ private:
+  void run();
+  void handle(DispatchEvent& event);
+  void pull_proposals();
+  void apply_effects();
+  void publish();
+
+  const Config& config_;
+  paxos::Engine& engine_;
+  DispatcherQueue& dispatcher_;
+  ProposalQueue& proposals_;
+  DecisionQueue& decisions_;
+  ReplicaIo& replica_io_;
+  Retransmitter& retransmitter_;
+  SharedState& shared_;
+
+  std::vector<paxos::Effect> effects_;
+  std::atomic<bool> running_{false};
+  metrics::NamedThread thread_;
+};
+
+}  // namespace mcsmr::smr

@@ -1,0 +1,107 @@
+#include "smr/replica.hpp"
+
+#include "smr/sim_client_io.hpp"
+#include "smr/tcp_client_io.hpp"
+
+namespace mcsmr::smr {
+
+Replica::Replica(const Config& config, ReplicaId self,
+                 std::unique_ptr<PeerTransport> transport, std::unique_ptr<Service> service)
+    : config_(config), self_(self), shared_(config.n),
+      request_queue_(config.request_queue_cap, "RequestQueue"),
+      proposal_queue_(config.proposal_queue_cap, "ProposalQueue"),
+      dispatcher_queue_(config.dispatcher_queue_cap, "DispatcherQueue"),
+      decision_queue_(config.decision_queue_cap, "DecisionQueue"),
+      transport_(std::move(transport)), service_(std::move(service)),
+      reply_cache_(config.reply_cache_stripes, config.admitted_ttl_ns),
+      engine_(config, self),
+      replica_io_(config_, self, *transport_, dispatcher_queue_, shared_),
+      retransmitter_(config_, replica_io_),
+      batcher_(config_, request_queue_, proposal_queue_, dispatcher_queue_, shared_),
+      failure_detector_(config_, self, replica_io_, dispatcher_queue_, shared_) {}
+
+void Replica::wire_client_io(std::unique_ptr<ClientIo> client_io) {
+  client_io_ = std::move(client_io);
+  service_manager_ = std::make_unique<ServiceManager>(config_, decision_queue_, *service_,
+                                                      reply_cache_, *client_io_,
+                                                      dispatcher_queue_, shared_);
+  protocol_ = std::make_unique<ProtocolThread>(config_, engine_, dispatcher_queue_,
+                                               proposal_queue_, decision_queue_, replica_io_,
+                                               retransmitter_, shared_);
+  // Snapshot provider: read on the Protocol thread, produced by the
+  // ServiceManager; the shared_ptr hand-off is the only synchronization.
+  engine_.set_snapshot_provider([this]() -> std::optional<paxos::SnapshotData> {
+    auto snapshot = service_manager_->latest_snapshot();
+    if (!snapshot) return std::nullopt;
+    return *snapshot;
+  });
+}
+
+std::unique_ptr<Replica> Replica::create_sim(const Config& config, ReplicaId self,
+                                             net::SimNetwork& net,
+                                             const std::vector<net::NodeId>& replica_nodes,
+                                             std::unique_ptr<Service> service) {
+  auto transport = std::make_unique<SimPeerTransport>(net, replica_nodes, self);
+  auto replica = std::unique_ptr<Replica>(
+      new Replica(config, self, std::move(transport), std::move(service)));
+  replica->wire_client_io(std::make_unique<SimClientIo>(config, net, replica_nodes[self],
+                                                        replica->request_queue_,
+                                                        replica->reply_cache_,
+                                                        replica->shared_));
+  return replica;
+}
+
+std::unique_ptr<Replica> Replica::create_tcp(const Config& config, ReplicaId self,
+                                             std::uint16_t peer_base_port,
+                                             std::uint16_t client_port,
+                                             std::unique_ptr<Service> service,
+                                             std::uint64_t deadline_ns) {
+  auto transport = TcpPeerTransport::connect_all(config, self, peer_base_port, deadline_ns);
+  if (transport == nullptr) return nullptr;
+  auto replica = std::unique_ptr<Replica>(
+      new Replica(config, self, std::move(transport), std::move(service)));
+  auto client_io =
+      std::make_unique<TcpClientIo>(config, client_port, replica->request_queue_,
+                                    replica->reply_cache_, replica->shared_);
+  if (!client_io->valid()) return nullptr;
+  replica->wire_client_io(std::move(client_io));
+  return replica;
+}
+
+Replica::~Replica() { stop(); }
+
+void Replica::start() {
+  if (started_) return;
+  started_ = true;
+  replica_io_.start();
+  retransmitter_.start();
+  service_manager_->start();
+  protocol_->start();
+  batcher_.start();
+  client_io_->start();
+  failure_detector_.start();
+}
+
+void Replica::stop() {
+  if (!started_) return;
+  started_ = false;
+  // Stop intake first, then unwedge every stage's blocking edge (closing a
+  // queue makes pending pushes fail and pending pops drain), then join.
+  failure_detector_.stop();
+  client_io_->stop();
+  request_queue_.close();
+  proposal_queue_.close();
+  batcher_.stop();
+  decision_queue_.close();
+  protocol_->stop();  // closes the dispatcher queue
+  retransmitter_.stop();
+  service_manager_->stop();
+  replica_io_.stop();
+}
+
+std::uint16_t Replica::client_port() const {
+  if (auto* tcp = dynamic_cast<TcpClientIo*>(client_io_.get())) return tcp->port();
+  return 0;
+}
+
+}  // namespace mcsmr::smr

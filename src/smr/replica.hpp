@@ -1,0 +1,109 @@
+// Replica — the composition root wiring the full threading architecture
+// of Fig 3: ClientIO pool -> RequestQueue -> Batcher -> ProposalQueue ->
+// Protocol (paxos::Engine) -> DecisionQueue -> ServiceManager -> replies,
+// with ReplicaIO reader/sender pairs per peer and the FailureDetector and
+// Retransmitter satellites.
+//
+// Two factories:
+//   create_sim — replicas share a SimNetwork (benches, integration tests;
+//                the NIC model shapes all traffic);
+//   create_tcp — real sockets on loopback (examples, end-to-end tests).
+#pragma once
+
+#include <memory>
+
+#include "paxos/engine.hpp"
+#include "smr/batcher.hpp"
+#include "smr/client_io.hpp"
+#include "smr/failure_detector.hpp"
+#include "smr/protocol_thread.hpp"
+#include "smr/replica_io.hpp"
+#include "smr/reply_cache.hpp"
+#include "smr/retransmitter.hpp"
+#include "smr/service.hpp"
+#include "smr/service_manager.hpp"
+#include "smr/shared_state.hpp"
+#include "smr/transport.hpp"
+
+namespace mcsmr::smr {
+
+class Replica {
+ public:
+  /// SimNet-backed replica. `replica_nodes[i]` is replica i's SimNet node.
+  static std::unique_ptr<Replica> create_sim(const Config& config, ReplicaId self,
+                                             net::SimNetwork& net,
+                                             const std::vector<net::NodeId>& replica_nodes,
+                                             std::unique_ptr<Service> service);
+
+  /// TCP-backed replica: peers on base_port+id, clients on client_port
+  /// (0 = ephemeral, see client_port()). Returns nullptr if peer links
+  /// cannot be established before `deadline_ns`.
+  static std::unique_ptr<Replica> create_tcp(const Config& config, ReplicaId self,
+                                             std::uint16_t peer_base_port,
+                                             std::uint16_t client_port,
+                                             std::unique_ptr<Service> service,
+                                             std::uint64_t deadline_ns);
+
+  ~Replica();
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  void start();
+  void stop();
+
+  // --- Introspection (benches / tests) -------------------------------------
+  ReplicaId id() const { return self_; }
+  bool is_leader() const { return shared_.is_leader.load(std::memory_order_relaxed); }
+  std::uint64_t view() const { return shared_.view.load(std::memory_order_relaxed); }
+  std::uint32_t window_in_use() const {
+    return shared_.window_in_use.load(std::memory_order_relaxed);
+  }
+  std::uint64_t executed_requests() const {
+    return shared_.executed_requests.load(std::memory_order_relaxed);
+  }
+  std::uint64_t decided_instances() const {
+    return shared_.decided_instances.load(std::memory_order_relaxed);
+  }
+  std::size_t request_queue_size() const { return request_queue_.size(); }
+  std::size_t proposal_queue_size() const { return proposal_queue_.size(); }
+  std::size_t dispatcher_queue_size() const { return dispatcher_queue_.size(); }
+  std::size_t decision_queue_size() const { return decision_queue_.size(); }
+  SharedState& shared() { return shared_; }
+  Service& service() { return *service_; }
+  ReplyCache& reply_cache() { return reply_cache_; }
+  /// TCP mode only: the port clients connect to.
+  std::uint16_t client_port() const;
+
+ private:
+  Replica(const Config& config, ReplicaId self, std::unique_ptr<PeerTransport> transport,
+          std::unique_ptr<Service> service);
+
+  /// Finishes construction once the ClientIo implementation exists.
+  void wire_client_io(std::unique_ptr<ClientIo> client_io);
+
+  Config config_;
+  ReplicaId self_;
+  SharedState shared_;
+
+  RequestQueue request_queue_;
+  ProposalQueue proposal_queue_;
+  DispatcherQueue dispatcher_queue_;
+  DecisionQueue decision_queue_;
+
+  std::unique_ptr<PeerTransport> transport_;
+  std::unique_ptr<Service> service_;
+  ReplyCache reply_cache_;
+
+  paxos::Engine engine_;
+  ReplicaIo replica_io_;
+  Retransmitter retransmitter_;
+  std::unique_ptr<ClientIo> client_io_;
+  std::unique_ptr<ServiceManager> service_manager_;
+  std::unique_ptr<ProtocolThread> protocol_;
+  Batcher batcher_;
+  FailureDetector failure_detector_;
+
+  bool started_ = false;
+};
+
+}  // namespace mcsmr::smr

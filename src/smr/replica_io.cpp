@@ -1,0 +1,102 @@
+#include "smr/replica_io.hpp"
+
+#include "common/logging.hpp"
+
+namespace mcsmr::smr {
+
+ReplicaIo::ReplicaIo(const Config& config, ReplicaId self, PeerTransport& transport,
+                     DispatcherQueue& dispatcher, SharedState& shared)
+    : ReplicaIo(config, self, transport, dispatcher, shared, ThreadNames{}) {}
+
+ReplicaIo::ReplicaIo(const Config& config, ReplicaId self, PeerTransport& transport,
+                     DispatcherQueue& dispatcher, SharedState& shared, ThreadNames names)
+    : config_(config), self_(self), transport_(transport), dispatcher_(dispatcher),
+      shared_(shared), names_(std::move(names)) {
+  names_.rcv_prefix = config.thread_name_prefix + names_.rcv_prefix;
+  names_.snd_prefix = config.thread_name_prefix + names_.snd_prefix;
+  send_queues_.resize(static_cast<std::size_t>(config.n));
+  for (int peer = 0; peer < config.n; ++peer) {
+    if (static_cast<ReplicaId>(peer) == self_) continue;
+    send_queues_[static_cast<std::size_t>(peer)] = std::make_unique<SendQueue>(
+        config.send_queue_cap, "SendQueue-" + std::to_string(peer));
+  }
+}
+
+void ReplicaIo::start(bool spawn_receivers) {
+  if (started_) return;
+  started_ = true;
+  for (int peer = 0; peer < config_.n; ++peer) {
+    const auto id = static_cast<ReplicaId>(peer);
+    if (id == self_) continue;
+    if (spawn_receivers) {
+      threads_.emplace_back(names_.rcv_prefix + std::to_string(peer),
+                            [this, id] { rcv_loop(id); });
+    }
+    threads_.emplace_back(names_.snd_prefix + std::to_string(peer),
+                          [this, id] { snd_loop(id); });
+  }
+}
+
+void ReplicaIo::stop() {
+  if (!started_) return;
+  transport_.shutdown();  // wakes receivers
+  for (auto& queue : send_queues_) {
+    if (queue) queue->close();  // wakes senders
+  }
+  threads_.clear();  // joins
+  started_ = false;
+}
+
+void ReplicaIo::rcv_loop(ReplicaId peer) {
+  while (auto frame = transport_.recv_from(peer)) {
+    // Any traffic from the peer proves liveness; the FD thread reads this
+    // without being notified (timestamps only increase, §V-C3).
+    shared_.last_recv_ns[peer].store(mono_ns(), std::memory_order_relaxed);
+    try {
+      paxos::WireMessage wire = paxos::decode_message(*frame);
+      // Trust the link, not the frame header, for the sender identity.
+      if (!dispatcher_.push(PeerMessageEvent{peer, std::move(wire.message)})) return;
+    } catch (const DecodeError& error) {
+      LOG_WARN << "dropping malformed frame from replica " << peer << ": " << error.what();
+    }
+  }
+}
+
+void ReplicaIo::snd_loop(ReplicaId peer) {
+  SendQueue& queue = *send_queues_[peer];
+  while (auto frame = queue.pop()) {
+    if (!transport_.send_to(peer, *frame)) {
+      // Link down: drop; retransmission recovers once it heals.
+      shared_.dropped_peer_frames.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool ReplicaIo::enqueue_frame(ReplicaId to, const Bytes& frame) {
+  SendQueue* queue = send_queues_[to].get();
+  if (queue == nullptr) return false;
+  if (!queue->try_push(frame)) {
+    shared_.dropped_peer_frames.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+bool ReplicaIo::send(ReplicaId to, const paxos::Message& message) {
+  return enqueue_frame(to, paxos::encode_message(self_, message));
+}
+
+void ReplicaIo::broadcast(const paxos::Message& message) {
+  const Bytes frame = paxos::encode_message(self_, message);
+  for (int peer = 0; peer < config_.n; ++peer) {
+    if (static_cast<ReplicaId>(peer) != self_) {
+      enqueue_frame(static_cast<ReplicaId>(peer), frame);
+    }
+  }
+}
+
+std::size_t ReplicaIo::send_queue_size(ReplicaId to) const {
+  return send_queues_[to] ? send_queues_[to]->size() : 0;
+}
+
+}  // namespace mcsmr::smr

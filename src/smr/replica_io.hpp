@@ -1,0 +1,69 @@
+// ReplicaIO module (§V-B): blocking I/O, two dedicated threads per peer.
+//
+// For every other replica p there is a ReplicaIORcv-p thread (reads and
+// deserializes frames from p, stamps the failure-detector timestamp, and
+// pushes the decoded message on the DispatcherQueue) and a ReplicaIOSnd-p
+// thread (drains p's SendQueue, serializing and writing). The dedicated
+// sender both offloads serialization from the Protocol thread and keeps
+// it from ever blocking on a slow or dead peer's socket — a full
+// SendQueue is detected with try_push and the frame is dropped, exactly
+// the paper's remedy for the distributed-deadlock hazard; end-to-end
+// retransmission recovers the loss.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "metrics/thread_stats.hpp"
+#include "smr/events.hpp"
+#include "smr/shared_state.hpp"
+#include "smr/transport.hpp"
+
+namespace mcsmr::smr {
+
+class ReplicaIo {
+ public:
+  /// Thread naming, overridable so the ZooKeeper-like baseline can present
+  /// its Fig-1b thread names ("Sender-p") while reusing this module.
+  struct ThreadNames {
+    std::string rcv_prefix = "ReplicaIORcv-";
+    std::string snd_prefix = "ReplicaIOSnd-";
+  };
+
+  ReplicaIo(const Config& config, ReplicaId self, PeerTransport& transport,
+            DispatcherQueue& dispatcher, SharedState& shared);
+  ReplicaIo(const Config& config, ReplicaId self, PeerTransport& transport,
+            DispatcherQueue& dispatcher, SharedState& shared, ThreadNames names);
+
+  /// `spawn_receivers=false` starts only the sender threads; the caller
+  /// then owns receiving (the baseline's LearnerHandler threads do).
+  void start(bool spawn_receivers = true);
+  void stop();
+
+  /// Encode once and enqueue to one peer. Never blocks: returns false and
+  /// drops the frame if the peer's SendQueue is full.
+  bool send(ReplicaId to, const paxos::Message& message);
+
+  /// Encode once and enqueue to every other replica.
+  void broadcast(const paxos::Message& message);
+
+  std::size_t send_queue_size(ReplicaId to) const;
+
+ private:
+  void rcv_loop(ReplicaId peer);
+  void snd_loop(ReplicaId peer);
+  bool enqueue_frame(ReplicaId to, const Bytes& frame);
+
+  const Config& config_;
+  const ReplicaId self_;
+  PeerTransport& transport_;
+  DispatcherQueue& dispatcher_;
+  SharedState& shared_;
+
+  std::vector<std::unique_ptr<SendQueue>> send_queues_;  // indexed by peer id
+  std::vector<metrics::NamedThread> threads_;
+  ThreadNames names_;
+  bool started_ = false;
+};
+
+}  // namespace mcsmr::smr

@@ -1,0 +1,107 @@
+#include "smr/reply_cache.hpp"
+
+#include "common/clock.hpp"
+
+namespace mcsmr::smr {
+
+ReplyCache::ReplyCache(std::size_t stripes, std::uint64_t admitted_ttl_ns)
+    : shards_(stripes == 0 ? 1 : stripes), admitted_ttl_ns_(admitted_ttl_ns) {}
+
+ReplyCache::LookupResult ReplyCache::lookup(paxos::ClientId client,
+                                            paxos::RequestSeq seq) const {
+  Shard& shard = shard_for(client);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  auto it = shard.map.find(client);
+  if (it == shard.map.end()) return {Lookup::kNew, {}};
+  const Entry& entry = it->second;
+  if (entry.has_executed) {
+    if (seq == entry.executed_seq) return {Lookup::kCached, entry.reply};
+    if (seq < entry.executed_seq) return {Lookup::kOld, {}};
+  }
+  if (entry.has_admitted && seq <= entry.admitted_seq &&
+      mono_ns() - entry.admitted_at_ns < admitted_ttl_ns_) {
+    return {Lookup::kExecuting, {}};
+  }
+  return {Lookup::kNew, {}};
+}
+
+void ReplyCache::mark_admitted(paxos::ClientId client, paxos::RequestSeq seq) {
+  Shard& shard = shard_for(client);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  Entry& entry = shard.map[client];
+  if (!entry.has_admitted || seq >= entry.admitted_seq) {
+    entry.has_admitted = true;
+    entry.admitted_seq = seq;
+    entry.admitted_at_ns = mono_ns();
+  }
+}
+
+void ReplyCache::update(paxos::ClientId client, paxos::RequestSeq seq, Bytes reply) {
+  Shard& shard = shard_for(client);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  Entry& entry = shard.map[client];
+  if (entry.has_executed && seq <= entry.executed_seq) return;  // stale double-decide
+  entry.has_executed = true;
+  entry.executed_seq = seq;
+  entry.reply = std::move(reply);
+}
+
+bool ReplyCache::executed(paxos::ClientId client, paxos::RequestSeq seq) const {
+  Shard& shard = shard_for(client);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  auto it = shard.map.find(client);
+  return it != shard.map.end() && it->second.has_executed && seq <= it->second.executed_seq;
+}
+
+std::size_t ReplyCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+Bytes ReplyCache::serialize() const {
+  ByteWriter writer;
+  // Two passes to write an exact count without copying entries.
+  std::size_t count = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    for (const auto& [client, entry] : shard.map) {
+      if (entry.has_executed) ++count;
+    }
+  }
+  writer.u64(count);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    for (const auto& [client, entry] : shard.map) {
+      if (!entry.has_executed) continue;
+      writer.u64(client);
+      writer.u64(entry.executed_seq);
+      writer.bytes(entry.reply);
+    }
+  }
+  return writer.take();
+}
+
+void ReplyCache::install(const Bytes& data) {
+  clear();
+  ByteReader reader(data);
+  const std::uint64_t count = reader.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const paxos::ClientId client = reader.u64();
+    const paxos::RequestSeq seq = reader.u64();
+    Bytes reply = reader.bytes();
+    update(client, seq, std::move(reply));
+  }
+}
+
+void ReplyCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    shard.map.clear();
+  }
+}
+
+}  // namespace mcsmr::smr

@@ -1,0 +1,92 @@
+// The reply cache: at-most-once execution and duplicate-reply service.
+//
+// Queried by every ClientIO thread on request arrival and updated by the
+// ServiceManager thread after each execution (§V-D). The paper found a
+// coarse-locked table collapses under this access pattern and switched to
+// a fine-grained structure (Java's ConcurrentHashMap); we implement the
+// same idea as a lock-striped hash map. `stripes=1` degenerates to the
+// coarse-locked design, which bench_ablation_reply_cache measures against.
+//
+// The cache keeps, per client, only the most recent (seq, reply): clients
+// are closed-loop (one outstanding request), so an older seq can never be
+// legitimately retried once a newer one was executed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "paxos/types.hpp"
+
+namespace mcsmr::smr {
+
+class ReplyCache {
+ public:
+  /// `admitted_ttl_ns` bounds how long an admitted-but-unexecuted mark
+  /// suppresses re-ordering of client retries. If ordering lost the
+  /// request (leadership change dropped the batch), the mark expires and
+  /// the retry is admitted again; execution-time dedup keeps at-most-once
+  /// even if both copies eventually decide.
+  explicit ReplyCache(std::size_t stripes = 64,
+                      std::uint64_t admitted_ttl_ns = 2'000'000'000);
+
+  /// Outcome of a lookup before ordering a request.
+  enum class Lookup {
+    kNew,       ///< never seen this seq: order and execute it
+    kCached,    ///< duplicate of the last executed request: reply available
+    kExecuting, ///< equals a seq already admitted but not yet executed
+    kOld,       ///< older than the last executed seq: drop silently
+  };
+  struct LookupResult {
+    Lookup state = Lookup::kNew;
+    Bytes reply;  // valid when state == kCached
+  };
+  LookupResult lookup(paxos::ClientId client, paxos::RequestSeq seq) const;
+
+  /// ClientIO marks a request admitted (ordered but not executed) so that
+  /// client retries during ordering are not re-ordered into new instances.
+  void mark_admitted(paxos::ClientId client, paxos::RequestSeq seq);
+
+  /// ServiceManager records the executed request's reply.
+  void update(paxos::ClientId client, paxos::RequestSeq seq, Bytes reply);
+
+  /// True if (client, seq) was already executed (used to skip duplicates
+  /// that were decided into two instances across a view change).
+  bool executed(paxos::ClientId client, paxos::RequestSeq seq) const;
+
+  std::size_t size() const;
+
+  /// Snapshot support: serialize/replace the full cache (executed entries
+  /// only; admitted-but-unexecuted marks are transient).
+  Bytes serialize() const;
+  void install(const Bytes& data);
+  void clear();
+
+ private:
+  struct Entry {
+    paxos::RequestSeq executed_seq = 0;
+    bool has_executed = false;
+    paxos::RequestSeq admitted_seq = 0;
+    bool has_admitted = false;
+    std::uint64_t admitted_at_ns = 0;
+    Bytes reply;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<paxos::ClientId, Entry> map;
+  };
+
+  Shard& shard_for(paxos::ClientId client) const {
+    return shards_[static_cast<std::size_t>(client * 0x9E3779B97F4A7C15ull >> 32) %
+                   shards_.size()];
+  }
+
+  mutable std::vector<Shard> shards_;
+  std::uint64_t admitted_ttl_ns_;
+};
+
+}  // namespace mcsmr::smr

@@ -1,0 +1,119 @@
+// Request admission logic shared by the ClientIo implementations.
+//
+// This is the per-request decision a ClientIO thread makes on arrival
+// (§V-A + §III-B): redirect if we are not the leader, serve duplicates
+// from the reply cache, suppress retries of in-flight requests, and
+// otherwise push into the RequestQueue (a blocking push — the flow-control
+// point that makes a saturated pipeline stop reading from clients).
+#pragma once
+
+#include "smr/client_proto.hpp"
+#include "smr/events.hpp"
+#include "smr/reply_cache.hpp"
+#include "smr/shared_state.hpp"
+
+namespace mcsmr::smr {
+
+class RequestGate {
+ public:
+  RequestGate(const Config& config, RequestQueue& requests, ReplyCache& reply_cache,
+              SharedState& shared)
+      : config_(config), requests_(requests), reply_cache_(reply_cache), shared_(shared) {}
+
+  enum class Action {
+    kForwarded,  ///< pushed on the RequestQueue; reply comes via ServiceManager
+    kReplyNow,   ///< answer `reply` immediately from the calling IO thread
+    kDrop,       ///< stale duplicate: no action
+  };
+  struct Outcome {
+    Action action = Action::kDrop;
+    ClientReplyFrame reply;
+  };
+
+  Outcome admit(const ClientRequestFrame& frame) {
+    Outcome out;
+    out.reply.client_id = frame.client_id;
+    out.reply.seq = frame.seq;
+
+    if (!shared_.is_leader.load(std::memory_order_relaxed)) {
+      shared_.redirected_requests.fetch_add(1, std::memory_order_relaxed);
+      out.action = Action::kReplyNow;
+      out.reply.status = ReplyStatus::kRedirect;
+      out.reply.payload = encode_leader_hint(config_.leader_of_view(
+          shared_.view.load(std::memory_order_relaxed)));
+      return out;
+    }
+
+    const auto lookup = reply_cache_.lookup(frame.client_id, frame.seq);
+    switch (lookup.state) {
+      case ReplyCache::Lookup::kCached:
+        shared_.cached_replies.fetch_add(1, std::memory_order_relaxed);
+        out.action = Action::kReplyNow;
+        out.reply.status = ReplyStatus::kOk;
+        out.reply.payload = lookup.reply;
+        return out;
+      case ReplyCache::Lookup::kOld:
+      case ReplyCache::Lookup::kExecuting:
+        out.action = Action::kDrop;
+        return out;
+      case ReplyCache::Lookup::kNew:
+        break;
+    }
+
+    reply_cache_.mark_admitted(frame.client_id, frame.seq);
+    if (!requests_.push(paxos::Request{frame.client_id, frame.seq, frame.payload})) {
+      out.action = Action::kDrop;  // shutting down
+      return out;
+    }
+    out.action = Action::kForwarded;
+    return out;
+  }
+
+ private:
+  const Config& config_;
+  RequestQueue& requests_;
+  ReplyCache& reply_cache_;
+  SharedState& shared_;
+};
+
+/// Small striped map from client id to connection handle, used by ClientIo
+/// implementations to route replies (written on first request, read per
+/// reply by the ServiceManager's send_reply path).
+template <typename V>
+class ClientRegistry {
+ public:
+  explicit ClientRegistry(std::size_t stripes = 16) : shards_(stripes) {}
+
+  void put(paxos::ClientId client, V value) {
+    Shard& shard = shard_for(client);
+    std::lock_guard<std::mutex> guard(shard.mu);
+    shard.map[client] = std::move(value);
+  }
+
+  std::optional<V> get(paxos::ClientId client) const {
+    Shard& shard = shard_for(client);
+    std::lock_guard<std::mutex> guard(shard.mu);
+    auto it = shard.map.find(client);
+    if (it == shard.map.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void erase(paxos::ClientId client) {
+    Shard& shard = shard_for(client);
+    std::lock_guard<std::mutex> guard(shard.mu);
+    shard.map.erase(client);
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<paxos::ClientId, V> map;
+  };
+  Shard& shard_for(paxos::ClientId client) const {
+    return shards_[static_cast<std::size_t>(client * 0x9E3779B97F4A7C15ull >> 32) %
+                   shards_.size()];
+  }
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace mcsmr::smr

@@ -1,0 +1,97 @@
+#include "smr/retransmitter.hpp"
+
+#include <chrono>
+
+namespace mcsmr::smr {
+
+Retransmitter::Retransmitter(const Config& config, ReplicaIo& replica_io)
+    : config_(config), replica_io_(replica_io) {}
+
+Retransmitter::~Retransmitter() { stop(); }
+
+void Retransmitter::start() {
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  thread_ = metrics::NamedThread(config_.thread_name_prefix + "Retransmitter", [this] { run(); });
+}
+
+void Retransmitter::stop() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  started_ = false;
+}
+
+void Retransmitter::schedule(std::uint64_t key, paxos::Message message) {
+  auto entry = std::make_shared<Entry>();
+  entry->message = std::move(message);
+  entry->key = key;
+
+  // Replacing an armed key (e.g. re-proposal after view change) cancels
+  // the stale entry first.
+  if (auto it = by_key_.find(key); it != by_key_.end()) {
+    it->second->cancelled.store(true, std::memory_order_relaxed);
+    armed_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  by_key_[key] = entry;
+  armed_.fetch_add(1, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    heap_.push(Pending{mono_ns() + config_.retransmit_timeout_ns, std::move(entry)});
+  }
+  cv_.notify_one();
+}
+
+void Retransmitter::cancel(std::uint64_t key) {
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) return;
+  // The paper's lock-free cancel: set the flag, let the thread find out
+  // when the deadline fires. No lock, no context switch.
+  it->second->cancelled.store(true, std::memory_order_relaxed);
+  by_key_.erase(it);
+  armed_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Retransmitter::cancel_all() {
+  for (auto& [key, entry] : by_key_) {
+    entry->cancelled.store(true, std::memory_order_relaxed);
+  }
+  armed_.fetch_sub(by_key_.size(), std::memory_order_relaxed);
+  by_key_.clear();
+}
+
+void Retransmitter::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (heap_.empty()) {
+      metrics::WaitingTimer timer;
+      cv_.wait(lock, [this] { return stopping_ || !heap_.empty(); });
+      continue;
+    }
+    const std::uint64_t now = mono_ns();
+    if (heap_.top().deadline_ns > now) {
+      metrics::WaitingTimer timer;
+      cv_.wait_for(lock, std::chrono::nanoseconds(heap_.top().deadline_ns - now));
+      continue;
+    }
+    Pending item = heap_.top();
+    heap_.pop();
+    if (item.entry->cancelled.load(std::memory_order_relaxed)) continue;  // lazy drop
+
+    lock.unlock();
+    replica_io_.broadcast(item.entry->message);
+    resends_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+
+    item.deadline_ns = mono_ns() + config_.retransmit_timeout_ns;
+    heap_.push(std::move(item));
+  }
+}
+
+}  // namespace mcsmr::smr

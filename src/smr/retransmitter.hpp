@@ -1,0 +1,84 @@
+// Retransmitter thread (§V-C4): guarantees protocol-critical messages are
+// eventually delivered (needed even over TCP — frames die with broken
+// connections and with full SendQueues).
+//
+// Design follows the paper exactly:
+//   * a deadline-ordered queue of pending retransmissions, consumed by a
+//     dedicated thread;
+//   * schedule() (Protocol thread, on first send) inserts under a brief
+//     lock;
+//   * cancel() — the hot path, executed for every message once its
+//     instance decides — takes NO lock and does NOT wake the thread: it
+//     just sets an atomic flag; the thread drops the entry lazily when the
+//     deadline fires.
+// The key->entry index is touched only by the Protocol thread, so it
+// needs no synchronization at all.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+
+#include "metrics/thread_stats.hpp"
+#include "paxos/messages.hpp"
+#include "smr/replica_io.hpp"
+
+namespace mcsmr::smr {
+
+class Retransmitter {
+ public:
+  Retransmitter(const Config& config, ReplicaIo& replica_io);
+  ~Retransmitter();
+
+  void start();
+  void stop();
+
+  /// Protocol thread only: arm periodic re-broadcast of `message`.
+  void schedule(std::uint64_t key, paxos::Message message);
+
+  /// Protocol thread only: lock-free cancel (atomic flag, no wake-up).
+  void cancel(std::uint64_t key);
+
+  /// Protocol thread only: cancel everything (view adoption).
+  void cancel_all();
+
+  /// Armed (not yet cancelled) entries; monitoring only.
+  std::size_t armed() const { return armed_.load(std::memory_order_relaxed); }
+  std::uint64_t resends() const { return resends_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    std::atomic<bool> cancelled{false};
+    paxos::Message message;
+    std::uint64_t key = 0;
+  };
+  struct Pending {
+    std::uint64_t deadline_ns;
+    std::shared_ptr<Entry> entry;
+    bool operator>(const Pending& other) const { return deadline_ns > other.deadline_ns; }
+  };
+
+  void run();
+
+  const Config& config_;
+  ReplicaIo& replica_io_;
+
+  // Protocol-thread-private index (single caller; no lock by design).
+  std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> by_key_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> heap_;
+  bool stopping_ = false;
+  bool started_ = false;
+
+  std::atomic<std::size_t> armed_{0};
+  std::atomic<std::uint64_t> resends_{0};
+
+  metrics::NamedThread thread_;
+};
+
+}  // namespace mcsmr::smr

@@ -1,0 +1,125 @@
+// The deterministic service replicated by the state machine (§III-A).
+//
+// execute() is called by exactly one thread (the ServiceManager / "Replica"
+// thread) in decided-instance order on every replica, so implementations
+// need no internal locking — determinism is the only contract.
+// snapshot()/install() support state transfer to lagging replicas.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace mcsmr::smr {
+
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  /// Apply one request; the returned bytes are sent to the client.
+  virtual Bytes execute(const Bytes& request) = 0;
+
+  /// Serialize the full service state.
+  virtual Bytes snapshot() const = 0;
+
+  /// Replace the state with a serialized snapshot.
+  virtual void install(const Bytes& state) = 0;
+};
+
+/// The paper's benchmark service (§VI): discards the request payload and
+/// answers with a fixed-size byte array — isolating the ordering path.
+class NullService : public Service {
+ public:
+  explicit NullService(std::size_t reply_bytes = 8) : reply_(reply_bytes, 0) {}
+  Bytes execute(const Bytes& request) override {
+    ++executed_;
+    return reply_;
+  }
+  Bytes snapshot() const override;
+  void install(const Bytes& state) override;
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  Bytes reply_;
+  std::uint64_t executed_ = 0;
+};
+
+/// A coordination-service-style key-value store.
+///
+/// Request encoding: u8 op | str key [| bytes value]
+///   op 1 PUT   -> old value ("" if none)
+///   op 2 GET   -> value ("" if none)
+///   op 3 DEL   -> old value
+///   op 4 CAS   -> u8 success; expected+new values follow the key
+/// Reply encoding: u8 status(0 ok, 1 bad request) | bytes result
+class KvService : public Service {
+ public:
+  enum class Op : std::uint8_t { kPut = 1, kGet = 2, kDel = 3, kCas = 4 };
+
+  Bytes execute(const Bytes& request) override;
+  Bytes snapshot() const override;
+  void install(const Bytes& state) override;
+
+  std::size_t size() const { return map_.size(); }
+
+  // Client-side encoders.
+  static Bytes make_put(const std::string& key, const Bytes& value);
+  static Bytes make_get(const std::string& key);
+  static Bytes make_del(const std::string& key);
+  static Bytes make_cas(const std::string& key, const Bytes& expected, const Bytes& desired);
+  /// Decode a reply: returns nullopt for status!=0, else the result bytes.
+  static std::optional<Bytes> parse_reply(const Bytes& reply);
+
+ private:
+  std::map<std::string, Bytes> map_;
+};
+
+/// A Chubby-style lock service with lease-free explicit locks and fencing
+/// tokens (the "lock server" workload the paper's introduction motivates).
+///
+/// Request encoding: u8 op | str lock_name | u64 owner_token
+///   op 1 ACQUIRE -> u8 granted | u64 fencing_token (0 when denied)
+///   op 2 RELEASE -> u8 released (1 only if owner_token held it)
+///   op 3 CHECK   -> u8 held | u64 owner_token | u64 fencing_token
+/// Owners are identified by an opaque u64 (typically the client id).
+class LockService : public Service {
+ public:
+  enum class Op : std::uint8_t { kAcquire = 1, kRelease = 2, kCheck = 3 };
+
+  Bytes execute(const Bytes& request) override;
+  Bytes snapshot() const override;
+  void install(const Bytes& state) override;
+
+  std::size_t held_locks() const { return locks_.size(); }
+
+  static Bytes make_acquire(const std::string& name, std::uint64_t owner);
+  static Bytes make_release(const std::string& name, std::uint64_t owner);
+  static Bytes make_check(const std::string& name);
+
+  struct AcquireResult {
+    bool granted = false;
+    std::uint64_t fencing_token = 0;
+  };
+  static AcquireResult parse_acquire_reply(const Bytes& reply);
+  static bool parse_release_reply(const Bytes& reply);
+  struct CheckResult {
+    bool held = false;
+    std::uint64_t owner = 0;
+    std::uint64_t fencing_token = 0;
+  };
+  static CheckResult parse_check_reply(const Bytes& reply);
+
+ private:
+  struct Lock {
+    std::uint64_t owner = 0;
+    std::uint64_t fencing_token = 0;
+  };
+  std::map<std::string, Lock> locks_;
+  std::uint64_t next_fencing_token_ = 1;
+};
+
+}  // namespace mcsmr::smr

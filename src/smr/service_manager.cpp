@@ -1,0 +1,87 @@
+#include "smr/service_manager.hpp"
+
+#include "common/logging.hpp"
+
+namespace mcsmr::smr {
+
+ServiceManager::ServiceManager(const Config& config, DecisionQueue& decisions,
+                               Service& service, ReplyCache& reply_cache, ClientIo& client_io,
+                               DispatcherQueue& dispatcher, SharedState& shared)
+    : config_(config), decisions_(decisions), service_(service), reply_cache_(reply_cache),
+      client_io_(client_io), dispatcher_(dispatcher), shared_(shared) {}
+
+ServiceManager::~ServiceManager() { stop(); }
+
+void ServiceManager::start() {
+  if (started_) return;
+  started_ = true;
+  // The paper labels this thread "Replica" in its per-thread figures.
+  thread_ = metrics::NamedThread(config_.thread_name_prefix + "Replica", [this] { run(); });
+}
+
+void ServiceManager::stop() {
+  // run() exits when the DecisionQueue closes (Replica::stop closes it).
+  thread_.join();
+  started_ = false;
+}
+
+void ServiceManager::run() {
+  while (auto event = decisions_.pop()) {
+    std::visit(
+        [&](auto& e) {
+          using T = std::decay_t<decltype(e)>;
+          if constexpr (std::is_same_v<T, Decision>) {
+            execute_batch(e.instance, e.batch);
+            maybe_snapshot(e.instance);
+          } else if constexpr (std::is_same_v<T, SnapshotInstallEvent>) {
+            service_.install(e.state);
+            reply_cache_.install(e.reply_cache);
+            executed_instances_.store(e.next_instance, std::memory_order_relaxed);
+          }
+        },
+        *event);
+  }
+}
+
+void ServiceManager::execute_batch(paxos::InstanceId instance, const Bytes& batch) {
+  std::vector<paxos::Request> requests;
+  try {
+    requests = paxos::decode_batch(batch);
+  } catch (const DecodeError& error) {
+    LOG_ERROR << "undecodable batch at instance " << instance << ": " << error.what();
+    return;
+  }
+  for (auto& request : requests) {
+    // Double-decide dedup: a retried request can legitimately be ordered
+    // twice across a view change; execute only the first occurrence.
+    if (reply_cache_.executed(request.client_id, request.seq)) continue;
+    Bytes reply = service_.execute(request.payload);
+    reply_cache_.update(request.client_id, request.seq, reply);
+    shared_.executed_requests.fetch_add(1, std::memory_order_relaxed);
+    client_io_.send_reply(request.client_id, request.seq, ReplyStatus::kOk, reply);
+  }
+  executed_instances_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceManager::maybe_snapshot(paxos::InstanceId instance) {
+  if (config_.snapshot_interval_instances == 0) return;
+  if ((instance + 1) % config_.snapshot_interval_instances != 0) return;
+
+  auto snapshot = std::make_shared<paxos::SnapshotData>();
+  snapshot->next_instance = instance + 1;
+  snapshot->state = service_.snapshot();
+  snapshot->reply_cache = reply_cache_.serialize();
+  {
+    std::lock_guard<std::mutex> guard(snapshot_mu_);
+    latest_snapshot_ = std::move(snapshot);
+  }
+  // Tell the Protocol thread it may prune the log below this point.
+  dispatcher_.try_push(LocalSnapshotEvent{instance + 1});
+}
+
+std::shared_ptr<const paxos::SnapshotData> ServiceManager::latest_snapshot() const {
+  std::lock_guard<std::mutex> guard(snapshot_mu_);
+  return latest_snapshot_;
+}
+
+}  // namespace mcsmr::smr

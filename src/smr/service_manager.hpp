@@ -1,0 +1,67 @@
+// ServiceManager module (§V-D) — the paper's "Replica" thread.
+//
+// Single thread consuming the DecisionQueue: extracts requests from each
+// decided batch in final order, executes them on the Service, updates the
+// striped reply cache, and hands each reply to the ClientIO thread that
+// owns the client's connection. Also produces periodic snapshots (used for
+// state transfer to lagging peers) and installs received ones.
+//
+// Exactly-once: a request already recorded as executed (its seq <= the
+// client's cached seq) is skipped — this absorbs the rare double-decide of
+// a retried request across a view change.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "metrics/thread_stats.hpp"
+#include "paxos/engine.hpp"
+#include "smr/client_io.hpp"
+#include "smr/events.hpp"
+#include "smr/reply_cache.hpp"
+#include "smr/service.hpp"
+#include "smr/shared_state.hpp"
+
+namespace mcsmr::smr {
+
+class ServiceManager {
+ public:
+  ServiceManager(const Config& config, DecisionQueue& decisions, Service& service,
+                 ReplyCache& reply_cache, ClientIo& client_io, DispatcherQueue& dispatcher,
+                 SharedState& shared);
+  ~ServiceManager();
+
+  void start();
+  void stop();
+
+  /// Latest snapshot, if any (read on the Protocol thread through the
+  /// engine's snapshot provider hook).
+  std::shared_ptr<const paxos::SnapshotData> latest_snapshot() const;
+
+  std::uint64_t executed_instances() const {
+    return executed_instances_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  void execute_batch(paxos::InstanceId instance, const Bytes& batch);
+  void maybe_snapshot(paxos::InstanceId instance);
+
+  const Config& config_;
+  DecisionQueue& decisions_;
+  Service& service_;
+  ReplyCache& reply_cache_;
+  ClientIo& client_io_;
+  DispatcherQueue& dispatcher_;
+  SharedState& shared_;
+
+  std::atomic<std::uint64_t> executed_instances_{0};
+
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const paxos::SnapshotData> latest_snapshot_;
+
+  metrics::NamedThread thread_;
+  bool started_ = false;
+};
+
+}  // namespace mcsmr::smr

@@ -1,0 +1,262 @@
+#include <optional>
+
+#include "smr/service.hpp"
+
+namespace mcsmr::smr {
+
+// --- NullService -------------------------------------------------------------
+
+Bytes NullService::snapshot() const {
+  ByteWriter writer(16);
+  writer.u64(executed_);
+  writer.u64(reply_.size());
+  return writer.take();
+}
+
+void NullService::install(const Bytes& state) {
+  ByteReader reader(state);
+  executed_ = reader.u64();
+  reply_.assign(reader.u64(), 0);
+}
+
+// --- KvService ---------------------------------------------------------------
+
+namespace {
+Bytes kv_reply(std::uint8_t status, const Bytes& result) {
+  ByteWriter writer(5 + result.size());
+  writer.u8(status);
+  writer.bytes(result);
+  return writer.take();
+}
+}  // namespace
+
+Bytes KvService::execute(const Bytes& request) {
+  try {
+    ByteReader reader(request);
+    const auto op = static_cast<Op>(reader.u8());
+    std::string key = reader.str();
+    switch (op) {
+      case Op::kPut: {
+        Bytes value = reader.bytes();
+        Bytes old;
+        if (auto it = map_.find(key); it != map_.end()) old = it->second;
+        map_[key] = std::move(value);
+        return kv_reply(0, old);
+      }
+      case Op::kGet: {
+        if (auto it = map_.find(key); it != map_.end()) return kv_reply(0, it->second);
+        return kv_reply(0, {});
+      }
+      case Op::kDel: {
+        Bytes old;
+        if (auto it = map_.find(key); it != map_.end()) {
+          old = std::move(it->second);
+          map_.erase(it);
+        }
+        return kv_reply(0, old);
+      }
+      case Op::kCas: {
+        Bytes expected = reader.bytes();
+        Bytes desired = reader.bytes();
+        auto it = map_.find(key);
+        const Bytes current = it != map_.end() ? it->second : Bytes{};
+        Bytes result(1, 0);
+        if (current == expected) {
+          map_[key] = std::move(desired);
+          result[0] = 1;
+        }
+        return kv_reply(0, result);
+      }
+    }
+    return kv_reply(1, {});
+  } catch (const DecodeError&) {
+    return kv_reply(1, {});
+  }
+}
+
+Bytes KvService::snapshot() const {
+  ByteWriter writer;
+  writer.u64(map_.size());
+  for (const auto& [key, value] : map_) {
+    writer.str(key);
+    writer.bytes(value);
+  }
+  return writer.take();
+}
+
+void KvService::install(const Bytes& state) {
+  map_.clear();
+  ByteReader reader(state);
+  const std::uint64_t count = reader.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string key = reader.str();
+    map_[std::move(key)] = reader.bytes();
+  }
+}
+
+Bytes KvService::make_put(const std::string& key, const Bytes& value) {
+  ByteWriter writer(9 + key.size() + value.size());
+  writer.u8(static_cast<std::uint8_t>(Op::kPut));
+  writer.str(key);
+  writer.bytes(value);
+  return writer.take();
+}
+
+Bytes KvService::make_get(const std::string& key) {
+  ByteWriter writer(5 + key.size());
+  writer.u8(static_cast<std::uint8_t>(Op::kGet));
+  writer.str(key);
+  return writer.take();
+}
+
+Bytes KvService::make_del(const std::string& key) {
+  ByteWriter writer(5 + key.size());
+  writer.u8(static_cast<std::uint8_t>(Op::kDel));
+  writer.str(key);
+  return writer.take();
+}
+
+Bytes KvService::make_cas(const std::string& key, const Bytes& expected, const Bytes& desired) {
+  ByteWriter writer(13 + key.size() + expected.size() + desired.size());
+  writer.u8(static_cast<std::uint8_t>(Op::kCas));
+  writer.str(key);
+  writer.bytes(expected);
+  writer.bytes(desired);
+  return writer.take();
+}
+
+std::optional<Bytes> KvService::parse_reply(const Bytes& reply) {
+  ByteReader reader(reply);
+  if (reader.u8() != 0) return std::nullopt;
+  return to_bytes(reader.bytes_view());
+}
+
+// --- LockService --------------------------------------------------------------
+
+Bytes LockService::execute(const Bytes& request) {
+  ByteWriter writer(17);
+  try {
+    ByteReader reader(request);
+    const auto op = static_cast<Op>(reader.u8());
+    std::string name = reader.str();
+    switch (op) {
+      case Op::kAcquire: {
+        const std::uint64_t owner = reader.u64();
+        auto it = locks_.find(name);
+        if (it == locks_.end()) {
+          const std::uint64_t token = next_fencing_token_++;
+          locks_[std::move(name)] = Lock{owner, token};
+          writer.u8(1);
+          writer.u64(token);
+        } else if (it->second.owner == owner) {
+          writer.u8(1);  // re-entrant: same owner keeps its token
+          writer.u64(it->second.fencing_token);
+        } else {
+          writer.u8(0);
+          writer.u64(0);
+        }
+        return writer.take();
+      }
+      case Op::kRelease: {
+        const std::uint64_t owner = reader.u64();
+        auto it = locks_.find(name);
+        if (it != locks_.end() && it->second.owner == owner) {
+          locks_.erase(it);
+          writer.u8(1);
+        } else {
+          writer.u8(0);
+        }
+        return writer.take();
+      }
+      case Op::kCheck: {
+        auto it = locks_.find(name);
+        if (it != locks_.end()) {
+          writer.u8(1);
+          writer.u64(it->second.owner);
+          writer.u64(it->second.fencing_token);
+        } else {
+          writer.u8(0);
+          writer.u64(0);
+          writer.u64(0);
+        }
+        return writer.take();
+      }
+    }
+  } catch (const DecodeError&) {
+  }
+  writer.u8(0xFF);  // malformed request
+  return writer.take();
+}
+
+Bytes LockService::snapshot() const {
+  ByteWriter writer;
+  writer.u64(next_fencing_token_);
+  writer.u64(locks_.size());
+  for (const auto& [name, lock] : locks_) {
+    writer.str(name);
+    writer.u64(lock.owner);
+    writer.u64(lock.fencing_token);
+  }
+  return writer.take();
+}
+
+void LockService::install(const Bytes& state) {
+  locks_.clear();
+  ByteReader reader(state);
+  next_fencing_token_ = reader.u64();
+  const std::uint64_t count = reader.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string name = reader.str();
+    Lock lock;
+    lock.owner = reader.u64();
+    lock.fencing_token = reader.u64();
+    locks_[std::move(name)] = lock;
+  }
+}
+
+Bytes LockService::make_acquire(const std::string& name, std::uint64_t owner) {
+  ByteWriter writer(13 + name.size());
+  writer.u8(static_cast<std::uint8_t>(Op::kAcquire));
+  writer.str(name);
+  writer.u64(owner);
+  return writer.take();
+}
+
+Bytes LockService::make_release(const std::string& name, std::uint64_t owner) {
+  ByteWriter writer(13 + name.size());
+  writer.u8(static_cast<std::uint8_t>(Op::kRelease));
+  writer.str(name);
+  writer.u64(owner);
+  return writer.take();
+}
+
+Bytes LockService::make_check(const std::string& name) {
+  ByteWriter writer(5 + name.size());
+  writer.u8(static_cast<std::uint8_t>(Op::kCheck));
+  writer.str(name);
+  return writer.take();
+}
+
+LockService::AcquireResult LockService::parse_acquire_reply(const Bytes& reply) {
+  ByteReader reader(reply);
+  AcquireResult result;
+  result.granted = reader.u8() == 1;
+  result.fencing_token = reader.u64();
+  return result;
+}
+
+bool LockService::parse_release_reply(const Bytes& reply) {
+  ByteReader reader(reply);
+  return reader.u8() == 1;
+}
+
+LockService::CheckResult LockService::parse_check_reply(const Bytes& reply) {
+  ByteReader reader(reply);
+  CheckResult result;
+  result.held = reader.u8() == 1;
+  result.owner = reader.u64();
+  result.fencing_token = reader.u64();
+  return result;
+}
+
+}  // namespace mcsmr::smr

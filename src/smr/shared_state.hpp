@@ -1,0 +1,50 @@
+// Cross-module shared state under the "no-lock rule" (§V-C).
+//
+// The ReplicationCore threads coordinate only through queues and the
+// atomics below — never locks. Each field has exactly one writer:
+//   view/is_leader/window_in_use/first_undecided — Protocol thread
+//     (the paper's "volatile variable" the Batcher reads, §V-C1);
+//   last_recv_ns[p] — ReplicaIORcv thread for peer p; read by the
+//     FailureDetector without notifications, which is safe because
+//     timestamps only increase (§V-C3);
+//   counters — their producing threads; read by benches.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/clock.hpp"
+#include "common/config.hpp"
+
+namespace mcsmr::smr {
+
+struct SharedState {
+  explicit SharedState(int n)
+      : last_recv_ns(std::make_unique<std::atomic<std::uint64_t>[]>(
+            static_cast<std::size_t>(n))),
+        peers(n) {
+    const std::uint64_t now = mono_ns();
+    for (int i = 0; i < n; ++i) last_recv_ns[static_cast<std::size_t>(i)].store(now);
+  }
+
+  // Written by the Protocol thread, read by Batcher / FD / ClientIO.
+  std::atomic<std::uint64_t> view{0};
+  std::atomic<bool> is_leader{false};
+  std::atomic<std::uint32_t> window_in_use{0};
+  std::atomic<std::uint64_t> first_undecided{0};
+
+  // Written by ReplicaIORcv threads (one slot each), read by the FD.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> last_recv_ns;
+  int peers;
+
+  // Counters for benches/monitoring.
+  std::atomic<std::uint64_t> executed_requests{0};
+  std::atomic<std::uint64_t> decided_instances{0};
+  std::atomic<std::uint64_t> dropped_peer_frames{0};   ///< SendQueue-full drops
+  std::atomic<std::uint64_t> dropped_batches{0};       ///< leadership-loss drains
+  std::atomic<std::uint64_t> redirected_requests{0};
+  std::atomic<std::uint64_t> cached_replies{0};
+};
+
+}  // namespace mcsmr::smr

@@ -1,0 +1,73 @@
+#include "smr/sim_client_io.hpp"
+
+#include "common/logging.hpp"
+
+namespace mcsmr::smr {
+
+SimClientIo::SimClientIo(const Config& config, net::SimNetwork& net, net::NodeId self_node,
+                         RequestQueue& requests, ReplyCache& reply_cache, SharedState& shared)
+    : config_(config), net_(net), self_node_(self_node),
+      gate_(config, requests, reply_cache, shared), shared_(shared),
+      io_threads_(config.client_io_threads < 1 ? 1 : config.client_io_threads) {}
+
+SimClientIo::~SimClientIo() { stop(); }
+
+void SimClientIo::start() {
+  if (started_) return;
+  started_ = true;
+  for (int t = 0; t < io_threads_; ++t) {
+    threads_.emplace_back(config_.thread_name_prefix + "ClientIO-" + std::to_string(t),
+                          [this, t] { io_loop(t); });
+  }
+}
+
+void SimClientIo::stop() {
+  if (!started_) return;
+  for (int t = 0; t < io_threads_; ++t) {
+    net_.close_inbox(self_node_, kClientIoChannelBase + static_cast<net::Channel>(t));
+  }
+  threads_.clear();  // joins
+  started_ = false;
+}
+
+void SimClientIo::io_loop(int thread_index) {
+  const net::Channel channel = kClientIoChannelBase + static_cast<net::Channel>(thread_index);
+  while (auto message = net_.recv(self_node_, channel)) {
+    DecodedClientFrame frame;
+    try {
+      frame = decode_client_frame(message->payload);
+    } catch (const DecodeError& error) {
+      LOG_WARN << "dropping malformed client frame: " << error.what();
+      continue;
+    }
+
+    if (frame.kind == ClientFrameKind::kRequest) {
+      // Remember where to answer, then run the admission gate.
+      reply_nodes_.put(frame.request.client_id, frame.request.reply_node);
+      auto outcome = gate_.admit(frame.request);
+      if (outcome.action == RequestGate::Action::kReplyNow) {
+        net_.send(self_node_, frame.request.reply_node, kClientReplyChannel,
+                  encode_client_reply(outcome.reply));
+      }
+    } else {
+      // A reply directive injected by the ServiceManager: this IO thread
+      // owns the client's "connection", so it does the network send.
+      auto node = reply_nodes_.get(frame.reply.client_id);
+      if (node.has_value()) {
+        net_.send(self_node_, *node, kClientReplyChannel, message->payload);
+      }
+    }
+  }
+}
+
+void SimClientIo::send_reply(paxos::ClientId client, paxos::RequestSeq seq,
+                             ReplyStatus status, const Bytes& payload) {
+  ClientReplyFrame reply{client, seq, status, payload};
+  net::SimMessage directive;
+  directive.from = self_node_;
+  directive.channel = channel_for_client(client);
+  directive.payload = encode_client_reply(reply);
+  net_.inject(self_node_, directive.channel, std::move(directive));
+}
+
+}  // namespace mcsmr::smr

@@ -1,0 +1,56 @@
+// ClientIO over SimNet: a static pool of IO threads, each owning one
+// SimNet inbox channel (connection assignment is by client-id hash, the
+// moral equivalent of the paper's round-robin: uniform and sticky).
+//
+// The reply path preserves the paper's structure: the ServiceManager does
+// NOT write to the network itself — it injects a reply directive into the
+// owning IO thread's inbox (SimNet inject bypasses the NIC model, it is a
+// local queue hand-off), and that IO thread serializes and performs the
+// network send.
+#pragma once
+
+#include <vector>
+
+#include "metrics/thread_stats.hpp"
+#include "smr/client_io.hpp"
+#include "smr/request_gate.hpp"
+#include "smr/transport.hpp"
+
+namespace mcsmr::smr {
+
+class SimClientIo : public ClientIo {
+ public:
+  SimClientIo(const Config& config, net::SimNetwork& net, net::NodeId self_node,
+              RequestQueue& requests, ReplyCache& reply_cache, SharedState& shared);
+  ~SimClientIo() override;
+
+  void start() override;
+  void stop() override;
+
+  void send_reply(paxos::ClientId client, paxos::RequestSeq seq, ReplyStatus status,
+                  const Bytes& payload) override;
+
+  /// The inbox channel a client with this id must send to.
+  net::Channel channel_for_client(paxos::ClientId client) const {
+    return kClientIoChannelBase +
+           static_cast<net::Channel>(client % static_cast<std::uint64_t>(io_threads_));
+  }
+
+ private:
+  void io_loop(int thread_index);
+
+  const Config& config_;
+  net::SimNetwork& net_;
+  const net::NodeId self_node_;
+  RequestGate gate_;
+  SharedState& shared_;
+  const int io_threads_;
+
+  /// client -> SimNet node to answer to (learned from request frames).
+  ClientRegistry<net::NodeId> reply_nodes_;
+
+  std::vector<metrics::NamedThread> threads_;
+  bool started_ = false;
+};
+
+}  // namespace mcsmr::smr

@@ -1,0 +1,135 @@
+#include "smr/swarm.hpp"
+
+#include "common/clock.hpp"
+#include "smr/transport.hpp"
+
+namespace mcsmr::smr {
+
+ClientSwarm::ClientSwarm(net::SimNetwork& net, std::vector<net::NodeId> replica_nodes,
+                         Params params)
+    : net_(net), replica_nodes_(std::move(replica_nodes)), params_(params) {
+  for (int w = 0; w < params_.workers; ++w) {
+    auto worker = std::make_unique<Worker>();
+    worker->node = net_.add_node("client-machine-" + std::to_string(w));
+    worker->clients.resize(static_cast<std::size_t>(params_.clients_per_worker));
+    for (int c = 0; c < params_.clients_per_worker; ++c) {
+      // Globally unique, stable client ids.
+      worker->clients[static_cast<std::size_t>(c)].id =
+          static_cast<paxos::ClientId>(w) * 1'000'000ull + static_cast<paxos::ClientId>(c) +
+          1;
+    }
+    workers_.push_back(std::move(worker));
+  }
+}
+
+ClientSwarm::~ClientSwarm() { stop(); }
+
+void ClientSwarm::start() {
+  if (running_.exchange(true)) return;
+  for (int w = 0; w < params_.workers; ++w) {
+    threads_.emplace_back("SwarmWorker-" + std::to_string(w), [this, w] { worker_loop(w); });
+  }
+}
+
+void ClientSwarm::stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& worker : workers_) net_.close_inbox(worker->node, kClientReplyChannel);
+  threads_.clear();  // joins
+}
+
+void ClientSwarm::send_request(Worker& worker, LogicalClient& client) {
+  ClientRequestFrame frame{client.id, client.seq, worker.node,
+                           Bytes(params_.payload_bytes, 0x5A)};
+  const net::Channel channel =
+      kClientIoChannelBase +
+      static_cast<net::Channel>(client.id % static_cast<std::uint64_t>(params_.io_threads));
+  net_.send(worker.node, replica_nodes_[worker.leader_guess], channel,
+            encode_client_request(frame));
+  client.sent_at_ns = mono_ns();
+  client.outstanding = true;
+}
+
+void ClientSwarm::worker_loop(int index) {
+  Worker& worker = *workers_[static_cast<std::size_t>(index)];
+
+  // Kick off every logical client's closed loop.
+  for (auto& client : worker.clients) {
+    client.seq = 1;
+    send_request(worker, client);
+  }
+
+  std::uint64_t last_retry_scan = mono_ns();
+  while (running_.load(std::memory_order_relaxed)) {
+    auto message = net_.recv_for(worker.node, kClientReplyChannel, 50 * kMillis);
+    const std::uint64_t now = mono_ns();
+
+    if (message.has_value()) {
+      DecodedClientFrame decoded;
+      try {
+        decoded = decode_client_frame(message->payload);
+      } catch (const DecodeError&) {
+        continue;
+      }
+      if (decoded.kind == ClientFrameKind::kReply) {
+        // Demultiplex to the logical client.
+        const std::uint64_t local =
+            (decoded.reply.client_id - 1) % 1'000'000ull;
+        if (local < worker.clients.size()) {
+          LogicalClient& client = worker.clients[local];
+          if (client.id == decoded.reply.client_id && client.outstanding &&
+              decoded.reply.seq == client.seq) {
+            switch (decoded.reply.status) {
+              case ReplyStatus::kOk: {
+                completed_.fetch_add(1, std::memory_order_relaxed);
+                {
+                  std::lock_guard<std::mutex> guard(worker.latency_mu);
+                  worker.latency.record(now - client.sent_at_ns);
+                }
+                ++client.seq;  // closed loop: next request immediately
+                send_request(worker, client);
+                break;
+              }
+              case ReplyStatus::kRedirect: {
+                if (auto hint = decode_leader_hint(decoded.reply.payload)) {
+                  if (*hint < replica_nodes_.size()) worker.leader_guess = *hint;
+                }
+                send_request(worker, client);  // same seq
+                break;
+              }
+              case ReplyStatus::kRetry:
+                send_request(worker, client);  // same seq
+                break;
+            }
+          }
+        }
+      }
+    }
+
+    // Periodic retry scan for requests lost to drops or leader changes.
+    if (now - last_retry_scan >= params_.retry_timeout_ns / 2) {
+      last_retry_scan = now;
+      bool any_stuck = false;
+      for (auto& client : worker.clients) {
+        if (client.outstanding && now - client.sent_at_ns > params_.retry_timeout_ns) {
+          any_stuck = true;
+          send_request(worker, client);  // same seq: reply cache dedups
+        }
+      }
+      if (any_stuck) {
+        // The leader may have changed without telling us; rotate the guess.
+        worker.leader_guess = (worker.leader_guess + 1) % replica_nodes_.size();
+      }
+    }
+  }
+}
+
+Histogram ClientSwarm::latency_histogram() const {
+  Histogram merged;
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> guard(worker->latency_mu);
+    merged.merge(worker->latency);
+  }
+  return merged;
+}
+
+}  // namespace mcsmr::smr

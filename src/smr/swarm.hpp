@@ -1,0 +1,73 @@
+// Closed-loop client swarm — the paper's workload generator (§VI: 1800
+// clients over six machines, each sending the next request only after the
+// previous answer arrives).
+//
+// Each worker thread models one client *machine*: it owns one SimNet node
+// shared by `clients_per_worker` logical clients, keeps every client's
+// closed loop (at most one outstanding request), demultiplexes replies by
+// client id, retries timed-out requests with the same sequence number, and
+// follows redirects to the leader.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "metrics/thread_stats.hpp"
+#include "net/simnet.hpp"
+#include "smr/client_proto.hpp"
+
+namespace mcsmr::smr {
+
+class ClientSwarm {
+ public:
+  struct Params {
+    int workers = 6;             ///< client machines (paper: 6)
+    int clients_per_worker = 300;  ///< logical clients each (paper: 1800 total)
+    std::size_t payload_bytes = 128;
+    int io_threads = 3;          ///< must match replicas' client_io_threads
+    std::uint64_t retry_timeout_ns = 1'000'000'000;
+  };
+
+  ClientSwarm(net::SimNetwork& net, std::vector<net::NodeId> replica_nodes, Params params);
+  ~ClientSwarm();
+
+  void start();
+  void stop();
+
+  /// Completed request count (monotonic; sample twice to get a rate).
+  std::uint64_t completed() const { return completed_.load(std::memory_order_relaxed); }
+
+  /// Merge per-worker latency histograms (call while running or after).
+  Histogram latency_histogram() const;
+
+ private:
+  struct LogicalClient {
+    paxos::ClientId id = 0;
+    paxos::RequestSeq seq = 0;
+    std::uint64_t sent_at_ns = 0;
+    bool outstanding = false;
+  };
+  struct Worker {
+    net::NodeId node = 0;
+    std::vector<LogicalClient> clients;
+    std::size_t leader_guess = 0;
+    Histogram latency;
+    mutable std::mutex latency_mu;
+  };
+
+  void worker_loop(int index);
+  void send_request(Worker& worker, LogicalClient& client);
+
+  net::SimNetwork& net_;
+  std::vector<net::NodeId> replica_nodes_;
+  Params params_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<metrics::NamedThread> threads_;
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace mcsmr::smr

@@ -1,0 +1,81 @@
+// ClientIO over TCP (§V-A): non-blocking sockets, a static pool of
+// epoll event loops, and round-robin assignment of accepted connections.
+//
+// Each IO thread owns an EventLoop; a connection lives on exactly one
+// loop for its lifetime. Replies are posted to the owning loop
+// (EventLoop::post — Fig 3's per-ClientIO-thread reply queue) and written
+// by that thread, with partial writes buffered and flushed on EPOLLOUT.
+//
+// Backpressure: the admission gate pushes into the bounded RequestQueue
+// with a blocking push, stalling the IO thread — which therefore stops
+// reading every socket it owns; kernel receive buffers then fill and TCP
+// pushes back to the clients (§V-E).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/thread_stats.hpp"
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/tcp.hpp"
+#include "smr/client_io.hpp"
+#include "smr/request_gate.hpp"
+
+namespace mcsmr::smr {
+
+class TcpClientIo : public ClientIo {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; see port()).
+  TcpClientIo(const Config& config, std::uint16_t port, RequestQueue& requests,
+              ReplyCache& reply_cache, SharedState& shared);
+  ~TcpClientIo() override;
+
+  bool valid() const { return listener_.has_value(); }
+  std::uint16_t port() const { return listener_ ? listener_->port() : 0; }
+
+  void start() override;
+  void stop() override;
+
+  void send_reply(paxos::ClientId client, paxos::RequestSeq seq, ReplyStatus status,
+                  const Bytes& payload) override;
+
+ private:
+  struct Connection {
+    net::TcpStream stream;
+    net::FrameParser parser;
+    std::deque<Bytes> out;      // frames waiting to be written
+    std::size_t out_offset = 0; // progress inside out.front()
+    bool want_write = false;
+  };
+  struct ConnRef {
+    int thread = -1;
+    int fd = -1;
+  };
+
+  void accept_loop();
+  void adopt(int thread_index, net::TcpStream stream);
+  void on_readable(int thread_index, int fd);
+  void flush_writes(int thread_index, int fd);
+  void close_connection(int thread_index, int fd);
+  void enqueue_frame(int thread_index, int fd, Bytes frame);
+
+  const Config& config_;
+  RequestGate gate_;
+  const int io_threads_;
+
+  std::optional<net::TcpListener> listener_;
+  std::vector<std::unique_ptr<net::EventLoop>> loops_;
+  // Per-loop connection tables; each is touched only by its loop thread.
+  std::vector<std::unordered_map<int, Connection>> conns_;
+
+  ClientRegistry<ConnRef> clients_;
+
+  std::vector<metrics::NamedThread> threads_;
+  metrics::NamedThread accept_thread_;
+  bool started_ = false;
+};
+
+}  // namespace mcsmr::smr

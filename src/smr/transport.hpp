@@ -1,0 +1,101 @@
+// Replica-to-replica transport seam.
+//
+// The ReplicaIO module (§V-B) is written against this interface: one
+// blocking receive stream per peer (served by a dedicated ReplicaIORcv
+// thread) and one send sink per peer (fed through the SendQueue by the
+// ReplicaIOSnd thread). Two implementations:
+//   * SimPeerTransport — SimNet-backed; benches run on this so the NIC
+//     model (packet budget, latency) shapes traffic;
+//   * TcpPeerTransport — real sockets; examples and integration tests.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/config.hpp"
+#include "net/simnet.hpp"
+#include "net/tcp.hpp"
+
+namespace mcsmr::smr {
+
+// SimNet channel layout (per destination node):
+//   1           — client worker reply inbox
+//   100 + from  — replica peer inbox, one per sending replica
+//   200 + t     — replica ClientIO thread t's request/work inbox
+constexpr net::Channel kClientReplyChannel = 1;
+constexpr net::Channel kPeerChannelBase = 100;
+constexpr net::Channel kClientIoChannelBase = 200;
+
+class PeerTransport {
+ public:
+  virtual ~PeerTransport() = default;
+
+  /// Blocking: next frame from `from`; nullopt when the link is closed.
+  virtual std::optional<Bytes> recv_from(ReplicaId from) = 0;
+
+  /// Send one frame to `to`. Returns false if the link is down; the caller
+  /// treats that as packet loss (retransmission recovers).
+  virtual bool send_to(ReplicaId to, const Bytes& frame) = 0;
+
+  /// Close all links, waking blocked receivers.
+  virtual void shutdown() = 0;
+};
+
+/// SimNet-backed peer links.
+class SimPeerTransport : public PeerTransport {
+ public:
+  /// `nodes[i]` is the SimNet node of replica i; `self` indexes into it.
+  SimPeerTransport(net::SimNetwork& net, std::vector<net::NodeId> nodes, ReplicaId self)
+      : net_(net), nodes_(std::move(nodes)), self_(self) {}
+
+  std::optional<Bytes> recv_from(ReplicaId from) override {
+    auto message = net_.recv(nodes_[self_], kPeerChannelBase + from);
+    if (!message.has_value()) return std::nullopt;
+    return std::move(message->payload);
+  }
+
+  bool send_to(ReplicaId to, const Bytes& frame) override {
+    return net_.send(nodes_[self_], nodes_[to], kPeerChannelBase + self_, frame);
+  }
+
+  void shutdown() override {
+    for (ReplicaId from = 0; from < nodes_.size(); ++from) {
+      net_.close_inbox(nodes_[self_], kPeerChannelBase + from);
+    }
+  }
+
+ private:
+  net::SimNetwork& net_;
+  std::vector<net::NodeId> nodes_;
+  ReplicaId self_;
+};
+
+/// TCP-backed peer links over loopback/LAN.
+///
+/// Wire-up: replica i listens on `base_port + i`; for every pair (i, j)
+/// with i < j, replica i connects and sends a 4-byte hello with its id.
+/// Links are established once at startup (connect_all); a broken link
+/// surfaces as recv_from() returning nullopt and send_to() returning
+/// false — end-to-end retransmission and the failure detector take over,
+/// as the paper prescribes for broken connections (§V-C4).
+class TcpPeerTransport : public PeerTransport {
+ public:
+  /// Blocks until links to all peers are up or `deadline_ns` passes.
+  /// Returns nullptr on failure.
+  static std::unique_ptr<TcpPeerTransport> connect_all(const Config& config, ReplicaId self,
+                                                       std::uint16_t base_port,
+                                                       std::uint64_t deadline_ns);
+
+  std::optional<Bytes> recv_from(ReplicaId from) override;
+  bool send_to(ReplicaId to, const Bytes& frame) override;
+  void shutdown() override;
+
+ private:
+  TcpPeerTransport() = default;
+  std::map<ReplicaId, net::TcpStream> links_;
+};
+
+}  // namespace mcsmr::smr

@@ -1,0 +1,139 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rand.hpp"
+
+namespace mcsmr {
+namespace {
+
+TEST(Bytes, RoundTripScalars) {
+  ByteWriter writer;
+  writer.u8(0xAB);
+  writer.u16(0xBEEF);
+  writer.u32(0xDEADBEEF);
+  writer.u64(0x0123456789ABCDEFull);
+  writer.i64(-42);
+  writer.f64(3.14159);
+
+  ByteReader reader(writer.view());
+  EXPECT_EQ(reader.u8(), 0xAB);
+  EXPECT_EQ(reader.u16(), 0xBEEF);
+  EXPECT_EQ(reader.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.i64(), -42);
+  EXPECT_DOUBLE_EQ(reader.f64(), 3.14159);
+  EXPECT_TRUE(reader.at_end());
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  ByteWriter writer;
+  writer.u32(0x01020304);
+  const auto& buf = writer.view();
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[1], 0x03);
+  EXPECT_EQ(buf[2], 0x02);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(Bytes, StringsAndByteStrings) {
+  ByteWriter writer;
+  writer.str("hello");
+  writer.str("");
+  Bytes blob = {1, 2, 3, 4, 5};
+  writer.bytes(blob);
+
+  ByteReader reader(writer.view());
+  EXPECT_EQ(reader.str(), "hello");
+  EXPECT_EQ(reader.str(), "");
+  EXPECT_EQ(reader.bytes(), blob);
+  EXPECT_TRUE(reader.at_end());
+}
+
+TEST(Bytes, BytesViewIsNonOwning) {
+  ByteWriter writer;
+  Bytes blob = {9, 8, 7};
+  writer.bytes(blob);
+  Bytes frame = writer.take();
+
+  ByteReader reader(frame);
+  auto view = reader.bytes_view();
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view.data(), frame.data() + 4);  // after the u32 length prefix
+}
+
+TEST(Bytes, TruncatedInputThrows) {
+  ByteWriter writer;
+  writer.u32(7);
+  ByteReader r1(writer.view());
+  r1.u16();
+  r1.u16();
+  EXPECT_THROW(r1.u8(), DecodeError);
+
+  // Length prefix larger than remaining input.
+  ByteWriter w2;
+  w2.u32(100);
+  w2.raw("abc", 3);
+  ByteReader r2(w2.view());
+  EXPECT_THROW(r2.str(), DecodeError);
+}
+
+TEST(Bytes, PatchU32) {
+  ByteWriter writer;
+  writer.u32(0);  // placeholder
+  writer.str("payload");
+  writer.patch_u32(0, static_cast<std::uint32_t>(writer.size() - 4));
+
+  ByteReader reader(writer.view());
+  EXPECT_EQ(reader.u32(), writer.size() - 4);
+  EXPECT_EQ(reader.str(), "payload");
+}
+
+TEST(Bytes, PatchOutOfRangeThrows) {
+  ByteWriter writer;
+  writer.u16(1);
+  EXPECT_THROW(writer.patch_u32(0, 1), std::out_of_range);
+}
+
+TEST(Bytes, EmptyReader) {
+  ByteReader reader(nullptr, 0);
+  EXPECT_TRUE(reader.at_end());
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_THROW(reader.u8(), DecodeError);
+}
+
+// Property: arbitrary sequences of writes decode to the same values.
+TEST(BytesProperty, RandomRoundTrips) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 200; ++iter) {
+    ByteWriter writer;
+    std::vector<std::uint64_t> values;
+    std::vector<int> kinds;
+    const int fields = 1 + static_cast<int>(rng.uniform(20));
+    for (int i = 0; i < fields; ++i) {
+      const int kind = static_cast<int>(rng.uniform(4));
+      const std::uint64_t v = rng.next_u64();
+      kinds.push_back(kind);
+      switch (kind) {
+        case 0: writer.u8(static_cast<std::uint8_t>(v)); values.push_back(v & 0xFF); break;
+        case 1: writer.u16(static_cast<std::uint16_t>(v)); values.push_back(v & 0xFFFF); break;
+        case 2: writer.u32(static_cast<std::uint32_t>(v)); values.push_back(v & 0xFFFFFFFF); break;
+        default: writer.u64(v); values.push_back(v); break;
+      }
+    }
+    ByteReader reader(writer.view());
+    for (int i = 0; i < fields; ++i) {
+      switch (kinds[static_cast<std::size_t>(i)]) {
+        case 0: EXPECT_EQ(reader.u8(), values[static_cast<std::size_t>(i)]); break;
+        case 1: EXPECT_EQ(reader.u16(), values[static_cast<std::size_t>(i)]); break;
+        case 2: EXPECT_EQ(reader.u32(), values[static_cast<std::size_t>(i)]); break;
+        default: EXPECT_EQ(reader.u64(), values[static_cast<std::size_t>(i)]); break;
+      }
+    }
+    EXPECT_TRUE(reader.at_end());
+  }
+}
+
+}  // namespace
+}  // namespace mcsmr

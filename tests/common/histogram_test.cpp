@@ -1,0 +1,122 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rand.hpp"
+
+namespace mcsmr {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1000.0);
+  // Bucketed percentile is within the bucket's relative error (~1/16).
+  EXPECT_NEAR(static_cast<double>(h.percentile(50)), 1000.0, 1000.0 / 16 + 1);
+}
+
+TEST(Histogram, PercentileAccuracyUniform) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100000; ++v) h.record(v);
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    const double expected = p / 100.0 * 100000;
+    EXPECT_NEAR(static_cast<double>(h.percentile(p)), expected, expected * 0.08 + 2)
+        << "p=" << p;
+  }
+}
+
+TEST(Histogram, MergeEqualsCombined) {
+  Histogram a, b, combined;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.uniform(1'000'000);
+    if (i % 2 == 0) {
+      a.record(v);
+    } else {
+      b.record(v);
+    }
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  for (double p : {25.0, 50.0, 75.0, 99.0}) {
+    EXPECT_EQ(a.percentile(p), combined.percentile(p));
+  }
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, WideDynamicRange) {
+  Histogram h;
+  h.record(1);
+  h.record(1'000'000'000'000ull);  // 1000 s in ns
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1'000'000'000'000ull);
+  EXPECT_GE(h.percentile(100), 1'000'000'000'000ull * 15 / 16);
+}
+
+TEST(MeanStd, KnownValues) {
+  MeanStd acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_NEAR(acc.stderr_mean(), 2.138 / std::sqrt(8.0), 1e-3);
+}
+
+TEST(MeanStd, SingleValueHasZeroSpread) {
+  MeanStd acc;
+  acc.add(42.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stderr_mean(), 0.0);
+}
+
+// Property: Welford matches two-pass computation on random data.
+TEST(MeanStdProperty, MatchesTwoPass) {
+  Rng rng(99);
+  for (int iter = 0; iter < 50; ++iter) {
+    MeanStd acc;
+    std::vector<double> values;
+    const int n = 2 + static_cast<int>(rng.uniform(100));
+    for (int i = 0; i < n; ++i) {
+      const double v = rng.uniform01() * 1e6 - 5e5;
+      values.push_back(v);
+      acc.add(v);
+    }
+    double mean = 0;
+    for (double v : values) mean += v;
+    mean /= static_cast<double>(n);
+    double var = 0;
+    for (double v : values) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(n - 1);
+    EXPECT_NEAR(acc.mean(), mean, std::abs(mean) * 1e-9 + 1e-6);
+    EXPECT_NEAR(acc.variance(), var, var * 1e-9 + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace mcsmr

@@ -1,0 +1,114 @@
+#include "metrics/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "metrics/net_counters.hpp"
+
+namespace mcsmr::metrics {
+namespace {
+
+TEST(GaugeSampler, SamplesConstantGauge) {
+  GaugeSampler sampler(2 * kMillis);
+  sampler.add_gauge("constant", [] { return 7.5; });
+  sampler.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  sampler.stop();
+
+  auto results = sampler.results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].name, "constant");
+  EXPECT_GE(results[0].samples, 5u);
+  EXPECT_DOUBLE_EQ(results[0].mean, 7.5);
+  EXPECT_DOUBLE_EQ(results[0].stderr_mean, 0.0);
+}
+
+TEST(GaugeSampler, TracksChangingGauge) {
+  std::atomic<double> value{0.0};
+  GaugeSampler sampler(1 * kMillis);
+  sampler.add_gauge("ramp", [&] { return value.load(); });
+  sampler.start();
+  for (int i = 1; i <= 50; ++i) {
+    value.store(static_cast<double>(i));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sampler.stop();
+
+  auto results = sampler.results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].mean, 1.0);
+  EXPECT_LT(results[0].mean, 50.0);
+  EXPECT_GT(results[0].stderr_mean, 0.0);
+}
+
+TEST(GaugeSampler, ResetDropsWarmup) {
+  std::atomic<double> value{1000.0};
+  GaugeSampler sampler(1 * kMillis);
+  sampler.add_gauge("g", [&] { return value.load(); });
+  sampler.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  value.store(1.0);
+  sampler.reset();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  sampler.stop();
+
+  auto results = sampler.results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_LT(results[0].mean, 10.0) << "warm-up samples leaked past reset";
+}
+
+TEST(GaugeSampler, StopIsIdempotent) {
+  GaugeSampler sampler(1 * kMillis);
+  sampler.add_gauge("g", [] { return 0.0; });
+  sampler.start();
+  sampler.stop();
+  sampler.stop();
+}
+
+TEST(NetCounters, PacketAccountingFollowsMtu) {
+  NetCounters counters;
+  counters.on_send(100);  // 1 packet
+  EXPECT_EQ(counters.packets_out(), 1u);
+  counters.on_send(1448);  // exactly 1 MSS
+  EXPECT_EQ(counters.packets_out(), 2u);
+  counters.on_send(1449);  // 2 packets
+  EXPECT_EQ(counters.packets_out(), 4u);
+  counters.on_send(0);  // empty message still a frame
+  EXPECT_EQ(counters.packets_out(), 5u);
+  EXPECT_EQ(counters.bytes_out(), 100u + 1448u + 1449u);
+
+  counters.on_recv(5000);  // ceil(5000/1448)=4
+  EXPECT_EQ(counters.packets_in(), 4u);
+  EXPECT_EQ(counters.bytes_in(), 5000u);
+}
+
+TEST(NetCounters, SnapshotDeltas) {
+  NetCounters counters;
+  counters.on_send(10);
+  auto base = counters.snapshot();
+  counters.on_send(20);
+  counters.on_recv(30);
+  auto delta = counters.snapshot() - base;
+  EXPECT_EQ(delta.packets_out, 1u);
+  EXPECT_EQ(delta.bytes_out, 20u);
+  EXPECT_EQ(delta.packets_in, 1u);
+  EXPECT_EQ(delta.bytes_in, 30u);
+}
+
+TEST(NetCounters, ResetZeroes) {
+  NetCounters counters;
+  counters.on_send(10);
+  counters.on_recv(10);
+  counters.reset();
+  EXPECT_EQ(counters.packets_out(), 0u);
+  EXPECT_EQ(counters.packets_in(), 0u);
+  EXPECT_EQ(counters.bytes_out(), 0u);
+  EXPECT_EQ(counters.bytes_in(), 0u);
+}
+
+}  // namespace
+}  // namespace mcsmr::metrics

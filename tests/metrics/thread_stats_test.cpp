@@ -1,0 +1,180 @@
+#include "metrics/thread_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/clock.hpp"
+
+namespace mcsmr::metrics {
+namespace {
+
+// Spin for roughly `ms` of CPU time.
+void burn_cpu_ms(std::uint64_t ms) {
+  const std::uint64_t start = thread_cpu_ns();
+  volatile std::uint64_t sink = 0;
+  while (thread_cpu_ns() - start < ms * kMillis) {
+    for (int i = 0; i < 1000; ++i) sink = sink + static_cast<std::uint64_t>(i);
+  }
+}
+
+TEST(ThreadStats, BusyTimeTracksCpuBurn) {
+  ThreadRegistry::instance().clear();
+  std::uint64_t busy_ns = 0;
+  {
+    NamedThread t("burner", [&] {
+      burn_cpu_ms(50);
+      busy_ns = ThreadRegistry::current()->cpu_now_ns();
+    });
+  }
+  auto snaps = ThreadRegistry::instance().snapshot_all();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].name, "burner");
+  EXPECT_FALSE(snaps[0].alive);
+  // Coarse-tick thread CPU clocks can outrun the wall briefly; the
+  // reported busy is clamped to wall, so assert a generous floor plus the
+  // dominance of busy within the thread's lifetime.
+  EXPECT_GE(snaps[0].busy_ns, 25 * kMillis);
+  EXPECT_GE(snaps[0].busy_frac(), 0.6);
+  EXPECT_GE(busy_ns, 40 * kMillis);
+}
+
+TEST(ThreadStats, WaitingTimerAccumulates) {
+  ThreadRegistry::instance().clear();
+  {
+    NamedThread t("waiter", [] {
+      WaitingTimer timer;
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    });
+  }
+  auto snaps = ThreadRegistry::instance().snapshot_all();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_GE(snaps[0].waiting_ns, 35 * kMillis);
+  EXPECT_LE(snaps[0].busy_ns, 20 * kMillis);
+}
+
+TEST(ThreadStats, BlockedTimerAccumulates) {
+  ThreadRegistry::instance().clear();
+  {
+    NamedThread t("blocked", [] {
+      BlockedTimer timer;
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    });
+  }
+  auto snaps = ThreadRegistry::instance().snapshot_all();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_GE(snaps[0].blocked_ns, 25 * kMillis);
+}
+
+TEST(ThreadStats, TimersNoOpOnUnregisteredThreads) {
+  // The main test thread is not registered; timers must not crash.
+  ASSERT_EQ(ThreadRegistry::current(), nullptr);
+  { BlockedTimer t1; }
+  { WaitingTimer t2; }
+}
+
+TEST(ThreadStats, InstrumentedMutexAttributesContention) {
+  ThreadRegistry::instance().clear();
+  InstrumentedMutex mu;
+  mu.lock();
+  NamedThread contender("contender", [&] {
+    mu.lock();  // blocks until main unlocks
+    mu.unlock();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  mu.unlock();
+  contender.join();
+
+  auto snaps = ThreadRegistry::instance().snapshot_all();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_GE(snaps[0].blocked_ns, 30 * kMillis) << "contention not attributed";
+}
+
+TEST(ThreadStats, UncontendedInstrumentedMutexRecordsNothing) {
+  ThreadRegistry::instance().clear();
+  InstrumentedMutex mu;
+  {
+    NamedThread t("fastpath", [&] {
+      for (int i = 0; i < 100000; ++i) {
+        mu.lock();
+        mu.unlock();
+      }
+    });
+  }
+  auto snaps = ThreadRegistry::instance().snapshot_all();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_LE(snaps[0].blocked_ns, 5 * kMillis);
+}
+
+TEST(ThreadStats, EpochResetExcludesHistory) {
+  ThreadRegistry::instance().clear();
+  std::atomic<bool> phase2{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;
+  NamedThread t("worker", [&] {
+    burn_cpu_ms(100);  // warm-up work, should be excluded
+    phase2.store(true);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return stop; });  // idle: one long block, ~no CPU
+  });
+  while (!phase2.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ThreadRegistry::instance().reset_epoch();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  auto snaps = ThreadRegistry::instance().snapshot_all();
+  {
+    std::lock_guard<std::mutex> guard(mu);
+    stop = true;
+  }
+  cv.notify_all();
+  t.join();
+  ASSERT_EQ(snaps.size(), 1u);
+  // Without the epoch reset this would report the full 100 ms warm-up burn.
+  // The loose bound tolerates coarse (10 ms tick) thread CPU clocks that
+  // lag the burn and catch up just after the epoch.
+  EXPECT_LE(snaps[0].busy_ns, 50 * kMillis) << "warm-up busy time leaked past epoch";
+}
+
+TEST(ThreadStats, SnapshotFractionsSumToOne) {
+  ThreadRegistry::instance().clear();
+  {
+    NamedThread t("mixed", [] {
+      burn_cpu_ms(100);
+      WaitingTimer timer;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    });
+  }
+  auto snaps = ThreadRegistry::instance().snapshot_all();
+  ASSERT_EQ(snaps.size(), 1u);
+  const double total = snaps[0].busy_frac() + snaps[0].blocked_frac() +
+                       snaps[0].waiting_frac() + snaps[0].other_frac();
+  EXPECT_NEAR(total, 1.0, 0.05);
+}
+
+TEST(ThreadStats, FormatTableContainsAllThreads) {
+  std::vector<ThreadStateSnapshot> snaps(2);
+  snaps[0].name = "Protocol";
+  snaps[1].name = "Batcher";
+  snaps[0].wall_ns = snaps[1].wall_ns = 100;
+  const auto table = format_thread_table(snaps);
+  EXPECT_NE(table.find("Protocol"), std::string::npos);
+  EXPECT_NE(table.find("Batcher"), std::string::npos);
+  EXPECT_NE(table.find("busy%"), std::string::npos);
+}
+
+TEST(ThreadStats, TotalBlockedFraction) {
+  ThreadRegistry::instance().clear();
+  {
+    NamedThread t1("b1", [] { BlockedTimer timer; std::this_thread::sleep_for(std::chrono::milliseconds(20)); });
+    NamedThread t2("b2", [] { BlockedTimer timer; std::this_thread::sleep_for(std::chrono::milliseconds(20)); });
+  }
+  // Two threads each blocked ~20ms => total 40ms. Against a 100ms window
+  // that is ~40%.
+  const double frac = ThreadRegistry::instance().total_blocked_frac(100 * kMillis);
+  EXPECT_GE(frac, 0.30);
+  EXPECT_LE(frac, 0.60);
+}
+
+}  // namespace
+}  // namespace mcsmr::metrics

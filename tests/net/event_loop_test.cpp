@@ -1,0 +1,110 @@
+#include "net/event_loop.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <thread>
+
+#include "net/frame.hpp"
+
+namespace mcsmr::net {
+namespace {
+
+TEST(EventLoop, StopUnblocksRun) {
+  EventLoop loop;
+  std::thread runner([&] { loop.run(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(loop.running());
+  loop.stop();
+  runner.join();
+  EXPECT_FALSE(loop.running());
+}
+
+TEST(EventLoop, PostRunsTaskOnLoopThread) {
+  EventLoop loop;
+  std::atomic<bool> ran{false};
+  std::thread::id loop_thread_id;
+  std::thread runner([&] {
+    loop_thread_id = std::this_thread::get_id();
+    loop.run();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  std::thread::id task_thread_id;
+  loop.post([&] {
+    task_thread_id = std::this_thread::get_id();
+    ran.store(true);
+  });
+  while (!ran.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(task_thread_id, loop_thread_id);
+  loop.stop();
+  runner.join();
+}
+
+TEST(EventLoop, DispatchesReadableSocket) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.has_value());
+  auto client = TcpStream::connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.has_value());
+  auto server_side = listener->accept();
+  ASSERT_TRUE(server_side.has_value());
+
+  EventLoop loop;
+  std::atomic<int> readable_events{0};
+  ASSERT_TRUE(loop.add(server_side->fd(), EPOLLIN, [&](std::uint32_t events) {
+    if (events & EPOLLIN) {
+      readable_events.fetch_add(1);
+      // Drain so level-triggered epoll doesn't re-fire.
+      char buf[64];
+      [[maybe_unused]] auto n = ::recv(server_side->fd(), buf, sizeof buf, 0);
+      loop.stop();
+    }
+  }));
+
+  std::thread runner([&] { loop.run(); });
+  Bytes msg = {1, 2, 3};
+  ASSERT_TRUE(client->send_frame(msg));
+  runner.join();
+  EXPECT_GE(readable_events.load(), 1);
+}
+
+TEST(EventLoop, RemoveStopsDispatch) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.has_value());
+  auto client = TcpStream::connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.has_value());
+  auto server_side = listener->accept();
+  ASSERT_TRUE(server_side.has_value());
+
+  EventLoop loop;
+  std::atomic<int> fired{0};
+  ASSERT_TRUE(loop.add(server_side->fd(), EPOLLIN, [&](std::uint32_t) {
+    fired.fetch_add(1);
+    loop.remove(server_side->fd());  // removal from within the callback
+  }));
+
+  std::thread runner([&] { loop.run(); });
+  Bytes msg = {9};
+  ASSERT_TRUE(client->send_frame(msg));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(client->send_frame(msg));  // no longer watched
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  loop.stop();
+  runner.join();
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(EventLoop, PendingTasksRunAtShutdown) {
+  EventLoop loop;
+  std::atomic<int> ran{0};
+  std::thread runner([&] { loop.run(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  for (int i = 0; i < 10; ++i) loop.post([&] { ran.fetch_add(1); });
+  loop.stop();
+  runner.join();
+  EXPECT_EQ(ran.load(), 10);
+}
+
+}  // namespace
+}  // namespace mcsmr::net

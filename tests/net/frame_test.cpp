@@ -1,0 +1,101 @@
+#include "net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rand.hpp"
+
+namespace mcsmr::net {
+namespace {
+
+TEST(Frame, RoundTripSingle) {
+  Bytes payload = {1, 2, 3, 4};
+  Bytes framed = frame_message(payload);
+  ASSERT_EQ(framed.size(), 8u);
+
+  FrameParser parser;
+  std::vector<Bytes> frames;
+  EXPECT_TRUE(parser.feed(framed, [&](Bytes f) { frames.push_back(std::move(f)); }));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], payload);
+  EXPECT_EQ(parser.pending_bytes(), 0u);
+}
+
+TEST(Frame, EmptyPayload) {
+  Bytes framed = frame_message({});
+  FrameParser parser;
+  int count = 0;
+  EXPECT_TRUE(parser.feed(framed, [&](Bytes f) {
+    EXPECT_TRUE(f.empty());
+    ++count;
+  }));
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Frame, ByteAtATimeDelivery) {
+  Bytes payload(100);
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = static_cast<std::uint8_t>(i);
+  Bytes framed = frame_message(payload);
+
+  FrameParser parser;
+  std::vector<Bytes> frames;
+  for (std::uint8_t byte : framed) {
+    EXPECT_TRUE(parser.feed({&byte, 1}, [&](Bytes f) { frames.push_back(std::move(f)); }));
+  }
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], payload);
+}
+
+TEST(Frame, MultipleFramesInOneChunk) {
+  Bytes chunk;
+  for (int i = 0; i < 5; ++i) {
+    Bytes payload(static_cast<std::size_t>(i + 1), static_cast<std::uint8_t>(i));
+    Bytes framed = frame_message(payload);
+    chunk.insert(chunk.end(), framed.begin(), framed.end());
+  }
+  FrameParser parser;
+  std::vector<Bytes> frames;
+  EXPECT_TRUE(parser.feed(chunk, [&](Bytes f) { frames.push_back(std::move(f)); }));
+  ASSERT_EQ(frames.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(frames[static_cast<std::size_t>(i)].size(), static_cast<std::size_t>(i + 1));
+    EXPECT_EQ(frames[static_cast<std::size_t>(i)][0], static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST(Frame, OversizedFrameRejected) {
+  Bytes evil = {0xFF, 0xFF, 0xFF, 0xFF};  // 4 GiB length prefix
+  FrameParser parser;
+  EXPECT_FALSE(parser.feed(evil, [](Bytes) { FAIL() << "must not deliver"; }));
+}
+
+// Property: random split points never change reassembly.
+TEST(FrameProperty, RandomChunking) {
+  Rng rng(42);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<Bytes> payloads;
+    Bytes stream;
+    const int n = 1 + static_cast<int>(rng.uniform(10));
+    for (int i = 0; i < n; ++i) {
+      Bytes payload(rng.uniform(2000));
+      for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng.next_u64());
+      Bytes framed = frame_message(payload);
+      stream.insert(stream.end(), framed.begin(), framed.end());
+      payloads.push_back(std::move(payload));
+    }
+
+    FrameParser parser;
+    std::vector<Bytes> frames;
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      const std::size_t chunk = std::min<std::size_t>(1 + rng.uniform(777), stream.size() - pos);
+      ASSERT_TRUE(parser.feed({stream.data() + pos, chunk},
+                              [&](Bytes f) { frames.push_back(std::move(f)); }));
+      pos += chunk;
+    }
+    ASSERT_EQ(frames.size(), payloads.size());
+    for (std::size_t i = 0; i < frames.size(); ++i) EXPECT_EQ(frames[i], payloads[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mcsmr::net

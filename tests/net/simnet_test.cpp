@@ -1,0 +1,240 @@
+#include "net/simnet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/clock.hpp"
+
+namespace mcsmr::net {
+namespace {
+
+SimNetParams fast_params() {
+  SimNetParams params;
+  params.one_way_ns = 10'000;  // 10 us
+  params.node_pps = 0;         // unlimited unless a test says otherwise
+  params.node_bandwidth_bps = 0;
+  return params;
+}
+
+TEST(SimNet, DeliversMessage) {
+  SimNetwork net(fast_params());
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  ASSERT_TRUE(net.send(a, b, 0, Bytes{1, 2, 3}));
+  auto msg = net.recv_for(b, 0, kSeconds);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->from, a);
+  EXPECT_EQ(msg->payload, (Bytes{1, 2, 3}));
+}
+
+TEST(SimNet, ChannelsAreIsolated) {
+  SimNetwork net(fast_params());
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  net.send(a, b, 7, Bytes{7});
+  net.send(a, b, 9, Bytes{9});
+  auto on9 = net.recv_for(b, 9, kSeconds);
+  ASSERT_TRUE(on9.has_value());
+  EXPECT_EQ(on9->payload, Bytes{9});
+  auto on7 = net.recv_for(b, 7, kSeconds);
+  ASSERT_TRUE(on7.has_value());
+  EXPECT_EQ(on7->payload, Bytes{7});
+}
+
+TEST(SimNet, FifoPerLinkWithoutJitter) {
+  SimNetwork net(fast_params());
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  for (std::uint8_t i = 0; i < 100; ++i) net.send(a, b, 0, Bytes{i});
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    auto msg = net.recv_for(b, 0, kSeconds);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->payload[0], i);
+  }
+}
+
+TEST(SimNet, RecvTimesOut) {
+  SimNetwork net(fast_params());
+  auto a = net.add_node("a");
+  (void)a;
+  const auto t0 = mono_ns();
+  auto msg = net.recv_for(a, 0, 30 * kMillis);
+  EXPECT_FALSE(msg.has_value());
+  EXPECT_GE(mono_ns() - t0, 25 * kMillis);
+}
+
+TEST(SimNet, CloseInboxWakesReceiver) {
+  SimNetwork net(fast_params());
+  auto a = net.add_node("a");
+  std::thread receiver([&] { EXPECT_FALSE(net.recv(a, 0).has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  net.close_inbox(a, 0);
+  receiver.join();
+}
+
+TEST(SimNet, DropFaultLosesEverything) {
+  SimNetwork net(fast_params());
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  FaultPlan drop_all;
+  drop_all.drop_prob = 1.0;
+  net.set_fault(a, b, drop_all);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(net.send(a, b, 0, Bytes{1}));
+  EXPECT_FALSE(net.recv_for(b, 0, 50 * kMillis).has_value());
+  // Reverse direction unaffected.
+  net.send(b, a, 0, Bytes{2});
+  EXPECT_TRUE(net.recv_for(a, 0, kSeconds).has_value());
+}
+
+TEST(SimNet, PartitionIsSymmetricAndHealable) {
+  SimNetwork net(fast_params());
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  net.set_partition(a, b, true);
+  net.send(a, b, 0, Bytes{1});
+  net.send(b, a, 0, Bytes{1});
+  EXPECT_FALSE(net.recv_for(b, 0, 30 * kMillis).has_value());
+  EXPECT_FALSE(net.recv_for(a, 0, 30 * kMillis).has_value());
+  net.set_partition(a, b, false);
+  net.send(a, b, 0, Bytes{2});
+  EXPECT_TRUE(net.recv_for(b, 0, kSeconds).has_value());
+}
+
+TEST(SimNet, DuplicationDeliversTwice) {
+  SimNetwork net(fast_params());
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  FaultPlan dup;
+  dup.dup_prob = 1.0;
+  net.set_fault(a, b, dup);
+  net.send(a, b, 0, Bytes{5});
+  EXPECT_TRUE(net.recv_for(b, 0, kSeconds).has_value());
+  EXPECT_TRUE(net.recv_for(b, 0, kSeconds).has_value());
+}
+
+TEST(SimNet, CountersTrackPacketsBothSides) {
+  SimNetwork net(fast_params());
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  net.send(a, b, 0, Bytes(3000));  // 3000 bytes => 3 MSS frames
+  ASSERT_TRUE(net.recv_for(b, 0, kSeconds).has_value());
+  EXPECT_EQ(net.counters(a).packets_out(), 3u);
+  EXPECT_EQ(net.counters(a).bytes_out(), 3000u);
+  EXPECT_EQ(net.counters(b).packets_in(), 3u);
+  EXPECT_EQ(net.counters(b).bytes_in(), 3000u);
+}
+
+TEST(SimNet, IdlePingMatchesBaseRtt) {
+  SimNetParams params = fast_params();
+  params.one_way_ns = 30'000;  // 0.06 ms RTT
+  params.node_pps = 150'000;
+  SimNetwork net(params);
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  const std::uint64_t rtt = net.ping_rtt_ns(a, b);
+  // Idle: two propagation legs plus four negligible NIC slots.
+  EXPECT_GE(rtt, 60'000u);
+  EXPECT_LE(rtt, 120'000u);
+}
+
+TEST(SimNet, LoadedNodePingInflates) {
+  // Reproduces the Table II mechanism: saturating one node's NIC inflates
+  // RTT to *that node only*.
+  SimNetParams params = fast_params();
+  params.one_way_ns = 30'000;
+  params.node_pps = 100'000;  // modest budget so we can overload it quickly
+  SimNetwork net(params);
+  auto leader = net.add_node("leader");
+  auto follower = net.add_node("follower");
+  auto other1 = net.add_node("other1");
+  auto other2 = net.add_node("other2");
+
+  // Saturate the leader NIC: reserve ~20ms of NIC time in one burst.
+  for (int i = 0; i < 2000; ++i) net.send(leader, follower, 1, Bytes(100));
+
+  const std::uint64_t rtt_to_leader = net.ping_rtt_ns(other1, leader);
+  const std::uint64_t rtt_others = net.ping_rtt_ns(other1, other2);
+  EXPECT_GT(rtt_to_leader, 10 * rtt_others)
+      << "leader RTT should inflate (paper: 0.06 ms -> 2.5 ms)";
+  EXPECT_LT(rtt_others, 200'000u) << "bystander links stay near idle RTT";
+}
+
+TEST(SimNet, UnlimitedNicNodeIsExempt) {
+  SimNetParams params = fast_params();
+  params.node_pps = 1000;  // tiny budget
+  SimNetwork net(params);
+  auto a = net.add_node("client-machine", /*unlimited_nic=*/true);
+  auto b = net.add_node("b", /*unlimited_nic=*/true);
+  const auto t0 = mono_ns();
+  for (int i = 0; i < 500; ++i) net.send(a, b, 0, Bytes{1});
+  for (int i = 0; i < 500; ++i) ASSERT_TRUE(net.recv_for(b, 0, kSeconds).has_value());
+  EXPECT_LT(mono_ns() - t0, kSeconds) << "500 packets at pps=1000 would take 0.5s if charged";
+}
+
+TEST(SimNet, ThroughputCappedByPpsBudget) {
+  SimNetParams params = fast_params();
+  params.node_pps = 10'000;
+  SimNetwork net(params);
+  auto a = net.add_node("a");
+  auto b = net.add_node("b", /*unlimited_nic=*/true);
+
+  // Sending 1000 single-packet messages must take >= ~100 ms of NIC time.
+  const auto t0 = mono_ns();
+  for (int i = 0; i < 1000; ++i) net.send(a, b, 0, Bytes{1});
+  int received = 0;
+  while (received < 1000) {
+    if (net.recv_for(b, 0, 2 * kSeconds).has_value()) {
+      ++received;
+    } else {
+      break;
+    }
+  }
+  const double elapsed_s = static_cast<double>(mono_ns() - t0) * 1e-9;
+  EXPECT_EQ(received, 1000);
+  EXPECT_GE(elapsed_s, 0.08) << "pps budget not enforced";
+}
+
+TEST(SimNet, SendAfterShutdownFails) {
+  SimNetwork net(fast_params());
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  net.shutdown();
+  EXPECT_FALSE(net.send(a, b, 0, Bytes{1}));
+}
+
+TEST(SimNet, ManyToOneStress) {
+  SimNetwork net(fast_params());
+  auto sink = net.add_node("sink");
+  constexpr int kSenders = 4, kPerSender = 2000;
+  std::vector<NodeId> senders;
+  for (int i = 0; i < kSenders; ++i) senders.push_back(net.add_node("s" + std::to_string(i)));
+
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSenders; ++s) {
+    threads.emplace_back([&, s] {
+      for (int i = 0; i < kPerSender; ++i) {
+        Bytes payload(8);
+        const std::uint64_t v =
+            (static_cast<std::uint64_t>(s) << 32) | static_cast<std::uint32_t>(i);
+        for (int byte = 0; byte < 8; ++byte) payload[static_cast<std::size_t>(byte)] = static_cast<std::uint8_t>(v >> (8 * byte));
+        ASSERT_TRUE(net.send(senders[static_cast<std::size_t>(s)], sink, 0, std::move(payload)));
+      }
+    });
+  }
+
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < kSenders * kPerSender; ++i) {
+    auto msg = net.recv_for(sink, 0, 5 * kSeconds);
+    ASSERT_TRUE(msg.has_value());
+    std::uint64_t v = 0;
+    for (int byte = 0; byte < 8; ++byte) v |= static_cast<std::uint64_t>(msg->payload[static_cast<std::size_t>(byte)]) << (8 * byte);
+    EXPECT_TRUE(seen.insert(v).second) << "duplicate delivery";
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kSenders) * kPerSender);
+}
+
+}  // namespace
+}  // namespace mcsmr::net

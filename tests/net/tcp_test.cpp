@@ -1,0 +1,148 @@
+#include "net/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/clock.hpp"
+
+namespace mcsmr::net {
+namespace {
+
+TEST(Tcp, ListenConnectEcho) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.has_value());
+  ASSERT_GT(listener->port(), 0);
+
+  std::thread server([&] {
+    auto conn = listener->accept();
+    ASSERT_TRUE(conn.has_value());
+    auto frame = conn->recv_frame();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_TRUE(conn->send_frame(*frame));
+  });
+
+  auto client = TcpStream::connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.has_value());
+  Bytes msg = {'p', 'i', 'n', 'g'};
+  EXPECT_TRUE(client->send_frame(msg));
+  auto echo = client->recv_frame();
+  ASSERT_TRUE(echo.has_value());
+  EXPECT_EQ(*echo, msg);
+  server.join();
+}
+
+TEST(Tcp, EofOnPeerClose) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.has_value());
+  std::thread server([&] {
+    auto conn = listener->accept();
+    // Close immediately.
+  });
+  auto client = TcpStream::connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.has_value());
+  EXPECT_FALSE(client->recv_frame().has_value());
+  server.join();
+}
+
+TEST(Tcp, ConnectToClosedPortFails) {
+  // Bind then immediately free a port; connecting to it should fail fast.
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.has_value());
+  const std::uint16_t port = listener->port();
+  listener->close();
+  auto client = TcpStream::connect("127.0.0.1", port);
+  EXPECT_FALSE(client.has_value());
+}
+
+TEST(Tcp, ConnectRetrySucceedsWhenServerAppearsLate) {
+  auto probe = TcpListener::bind(0);
+  ASSERT_TRUE(probe.has_value());
+  const std::uint16_t port = probe->port();
+  probe->close();
+
+  std::thread late_server([port] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    auto listener = TcpListener::bind(port);
+    ASSERT_TRUE(listener.has_value());
+    auto conn = listener->accept();
+    EXPECT_TRUE(conn.has_value());
+  });
+
+  auto client = TcpStream::connect_retry("127.0.0.1", port, mono_ns() + 2 * kSeconds);
+  EXPECT_TRUE(client.has_value());
+  late_server.join();
+}
+
+TEST(Tcp, LargeFrameRoundTrip) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.has_value());
+  Bytes big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<std::uint8_t>(i * 31);
+
+  std::thread server([&] {
+    auto conn = listener->accept();
+    ASSERT_TRUE(conn.has_value());
+    auto frame = conn->recv_frame();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->size(), big.size());
+    EXPECT_TRUE(conn->send_frame(*frame));
+  });
+
+  auto client = TcpStream::connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.has_value());
+  EXPECT_TRUE(client->send_frame(big));
+  auto echo = client->recv_frame();
+  ASSERT_TRUE(echo.has_value());
+  EXPECT_EQ(*echo, big);
+  server.join();
+}
+
+TEST(Tcp, ManySmallFramesPreserveOrder) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.has_value());
+  constexpr int kFrames = 2000;
+
+  std::thread server([&] {
+    auto conn = listener->accept();
+    ASSERT_TRUE(conn.has_value());
+    for (int i = 0; i < kFrames; ++i) {
+      auto frame = conn->recv_frame();
+      ASSERT_TRUE(frame.has_value());
+      ASSERT_EQ(frame->size(), 4u);
+      std::uint32_t v = 0;
+      for (int b = 0; b < 4; ++b) v |= static_cast<std::uint32_t>((*frame)[static_cast<std::size_t>(b)]) << (8 * b);
+      ASSERT_EQ(v, static_cast<std::uint32_t>(i));
+    }
+  });
+
+  auto client = TcpStream::connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.has_value());
+  for (int i = 0; i < kFrames; ++i) {
+    Bytes frame(4);
+    for (int b = 0; b < 4; ++b) frame[static_cast<std::size_t>(b)] = static_cast<std::uint8_t>(i >> (8 * b));
+    ASSERT_TRUE(client->send_frame(frame));
+  }
+  server.join();
+}
+
+TEST(Tcp, ShutdownWakesBlockedReader) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.has_value());
+  std::optional<TcpStream> server_conn;
+  std::thread server([&] { server_conn = listener->accept(); });
+  auto client = TcpStream::connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.has_value());
+  server.join();
+  ASSERT_TRUE(server_conn.has_value());
+
+  std::thread reader([&] {
+    EXPECT_FALSE(client->recv_frame().has_value());  // unblocked by shutdown
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  client->shutdown();
+  reader.join();
+}
+
+}  // namespace
+}  // namespace mcsmr::net

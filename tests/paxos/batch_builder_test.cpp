@@ -1,0 +1,123 @@
+#include "paxos/batch_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.hpp"
+#include "paxos/messages.hpp"
+
+namespace mcsmr::paxos {
+namespace {
+
+Request req(std::size_t payload_bytes, ClientId client = 1, RequestSeq seq = 1) {
+  return Request{client, seq, Bytes(payload_bytes, 0xAB)};
+}
+
+TEST(BatchBuilder, AccumulatesUntilFull) {
+  // 128-byte requests, encoded size 148; BSZ=1300 fits 8 (4+8*148=1188).
+  BatchBuilder builder(1300, kSeconds);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_TRUE(builder.add(req(128), 0).empty()) << "request " << i;
+  }
+  auto closed = builder.add(req(128), 0);
+  // 8th request brings encoded size to 1188 < 1300 — still open.
+  EXPECT_TRUE(closed.empty());
+  EXPECT_EQ(builder.pending_requests(), 8u);
+  // 9th would need 1336 > 1300: closes the previous batch of 8.
+  closed = builder.add(req(128), 0);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(decode_batch(closed[0]).size(), 8u);
+  EXPECT_EQ(builder.pending_requests(), 1u);
+}
+
+TEST(BatchBuilder, TimeoutFlushesPartialBatch) {
+  BatchBuilder builder(10'000, 5 * kMillis);
+  EXPECT_TRUE(builder.add(req(100), 1000 * kMillis).empty());
+  EXPECT_FALSE(builder.poll(1004 * kMillis).has_value()) << "deadline not reached";
+  auto flushed = builder.poll(1005 * kMillis + 1);
+  ASSERT_TRUE(flushed.has_value());
+  EXPECT_EQ(decode_batch(*flushed).size(), 1u);
+  EXPECT_TRUE(builder.empty());
+}
+
+TEST(BatchBuilder, DeadlineTracksOldestRequest) {
+  BatchBuilder builder(100'000, 10 * kMillis);
+  EXPECT_FALSE(builder.deadline_ns().has_value());
+  builder.add(req(10), 100 * kMillis);
+  ASSERT_TRUE(builder.deadline_ns().has_value());
+  EXPECT_EQ(*builder.deadline_ns(), 110 * kMillis);
+  builder.add(req(10), 105 * kMillis);  // younger request, same deadline
+  EXPECT_EQ(*builder.deadline_ns(), 110 * kMillis);
+}
+
+TEST(BatchBuilder, OversizedRequestShipsAlone) {
+  BatchBuilder builder(1300, kSeconds);
+  auto closed = builder.add(req(5000), 0);
+  ASSERT_EQ(closed.size(), 1u);
+  auto decoded = decode_batch(closed[0]);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].payload.size(), 5000u);
+  EXPECT_TRUE(builder.empty());
+}
+
+TEST(BatchBuilder, OversizedAfterPartialClosesBoth) {
+  BatchBuilder builder(1300, kSeconds);
+  builder.add(req(128), 0);
+  auto closed = builder.add(req(5000), 0);
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(decode_batch(closed[0]).size(), 1u);
+  EXPECT_EQ(decode_batch(closed[0])[0].payload.size(), 128u);
+  EXPECT_EQ(decode_batch(closed[1])[0].payload.size(), 5000u);
+  EXPECT_TRUE(builder.empty());
+}
+
+TEST(BatchBuilder, ForcePollFlushes) {
+  BatchBuilder builder(10'000, kSeconds);
+  builder.add(req(10), 0);
+  auto flushed = builder.poll(1, /*force=*/true);
+  ASSERT_TRUE(flushed.has_value());
+  EXPECT_TRUE(builder.empty());
+}
+
+TEST(BatchBuilder, PollOnEmptyReturnsNothing) {
+  BatchBuilder builder(1000, 1);
+  EXPECT_FALSE(builder.poll(UINT64_MAX, true).has_value());
+}
+
+TEST(BatchBuilder, PreservesRequestOrder) {
+  BatchBuilder builder(100'000, kSeconds);
+  for (RequestSeq seq = 0; seq < 50; ++seq) builder.add(req(10, 1, seq), 0);
+  auto flushed = builder.poll(0, true);
+  ASSERT_TRUE(flushed.has_value());
+  auto decoded = decode_batch(*flushed);
+  ASSERT_EQ(decoded.size(), 50u);
+  for (RequestSeq seq = 0; seq < 50; ++seq) EXPECT_EQ(decoded[seq].seq, seq);
+}
+
+// Parameterized sweep: whatever BSZ is, every request is shipped exactly
+// once and no encoded batch exceeds max(BSZ, single oversized request).
+class BatchBuilderSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BatchBuilderSweep, NoLossNoOverflow) {
+  const std::uint32_t bsz = GetParam();
+  BatchBuilder builder(bsz, kSeconds);
+  std::size_t shipped = 0;
+  std::size_t max_batch_bytes = 0;
+  for (int i = 0; i < 1000; ++i) {
+    for (auto& batch : builder.add(req(128, 1, static_cast<RequestSeq>(i)), 0)) {
+      shipped += decode_batch(batch).size();
+      max_batch_bytes = std::max(max_batch_bytes, batch.size());
+    }
+  }
+  if (auto last = builder.poll(0, true)) {
+    shipped += decode_batch(*last).size();
+    max_batch_bytes = std::max(max_batch_bytes, last->size());
+  }
+  EXPECT_EQ(shipped, 1000u);
+  EXPECT_LE(max_batch_bytes, std::max<std::size_t>(bsz, req(128).encoded_size() + 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BatchBuilderSweep,
+                         ::testing::Values(650u, 1300u, 2600u, 5200u, 10400u));
+
+}  // namespace
+}  // namespace mcsmr::paxos

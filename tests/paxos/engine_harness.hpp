@@ -1,0 +1,178 @@
+// Test harness: drives N paxos::Engine instances through an in-memory
+// message pool with full control over delivery order, loss, duplication
+// and retransmission — the deterministic schedule explorer used by both
+// the unit tests and the property tests.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rand.hpp"
+#include "paxos/engine.hpp"
+
+namespace mcsmr::paxos::testing {
+
+struct PendingMessage {
+  ReplicaId from = 0;
+  ReplicaId to = 0;
+  Message message;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(int n, std::uint32_t window = 10) {
+    config_.n = n;
+    config_.window_size = window;
+    for (int id = 0; id < n; ++id) {
+      engines_.emplace_back(config_, static_cast<ReplicaId>(id));
+      delivered_.emplace_back();
+      retransmits_.emplace_back();
+    }
+  }
+
+  Config& config() { return config_; }
+  Engine& engine(ReplicaId id) { return engines_[id]; }
+  int n() const { return config_.n; }
+
+  /// Kick off: view-0 leader runs Phase 1.
+  void start() {
+    std::vector<Effect> out;
+    for (auto& engine : engines_) engine.start(out);
+    absorb(0, out);  // self_=0 is the only engine producing effects here
+  }
+
+  /// Process effects produced by engine `self`, queueing outbound traffic.
+  void absorb(ReplicaId self, std::vector<Effect>& effects) {
+    for (auto& effect : effects) {
+      std::visit(
+          [&](auto& e) {
+            using T = std::decay_t<decltype(e)>;
+            if constexpr (std::is_same_v<T, SendTo>) {
+              if (e.to != self) pending_.push_back({self, e.to, std::move(e.message)});
+            } else if constexpr (std::is_same_v<T, BroadcastMsg>) {
+              for (int to = 0; to < config_.n; ++to) {
+                if (static_cast<ReplicaId>(to) != self) {
+                  pending_.push_back({self, static_cast<ReplicaId>(to), e.message});
+                }
+              }
+            } else if constexpr (std::is_same_v<T, Deliver>) {
+              delivered_[self].push_back({e.instance, e.value});
+            } else if constexpr (std::is_same_v<T, ScheduleRetransmit>) {
+              retransmits_[self][e.key] = e.message;
+            } else if constexpr (std::is_same_v<T, CancelRetransmit>) {
+              retransmits_[self].erase(e.key);
+            } else if constexpr (std::is_same_v<T, CancelAllRetransmits>) {
+              retransmits_[self].clear();
+            } else if constexpr (std::is_same_v<T, InstallSnapshot>) {
+              snapshots_installed_[self].push_back(e.next_instance);
+            }
+            // ViewChanged: informational only.
+          },
+          effect);
+    }
+    effects.clear();
+  }
+
+  std::size_t pending_count() const { return pending_.size(); }
+
+  /// Deliver pending message at `index` (default: oldest first).
+  void deliver_one(std::size_t index = 0) {
+    PendingMessage pm = std::move(pending_[index]);
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+    std::vector<Effect> out;
+    engines_[pm.to].on_message(pm.from, pm.message, out);
+    absorb(pm.to, out);
+  }
+
+  /// Drop pending message at `index`.
+  void drop_one(std::size_t index) {
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+  }
+
+  /// Duplicate pending message at `index`.
+  void duplicate_one(std::size_t index) { pending_.push_back(pending_[index]); }
+
+  /// Deliver everything (repeatedly, since deliveries spawn messages).
+  void settle(std::size_t max_steps = 100000) {
+    std::size_t steps = 0;
+    while (!pending_.empty() && steps++ < max_steps) deliver_one();
+  }
+
+  /// Re-broadcast every armed retransmission on every replica.
+  void fire_retransmits() {
+    for (int id = 0; id < config_.n; ++id) {
+      for (const auto& [key, message] : retransmits_[static_cast<std::size_t>(id)]) {
+        for (int to = 0; to < config_.n; ++to) {
+          if (to != id) {
+            pending_.push_back(
+                {static_cast<ReplicaId>(id), static_cast<ReplicaId>(to), message});
+          }
+        }
+      }
+    }
+  }
+
+  void fire_heartbeats() {
+    for (int id = 0; id < config_.n; ++id) {
+      std::vector<Effect> out;
+      engines_[static_cast<std::size_t>(id)].on_heartbeat_timer(out);
+      absorb(static_cast<ReplicaId>(id), out);
+    }
+  }
+
+  void fire_catchup_timers() {
+    for (int id = 0; id < config_.n; ++id) {
+      std::vector<Effect> out;
+      engines_[static_cast<std::size_t>(id)].on_catchup_timer(out);
+      absorb(static_cast<ReplicaId>(id), out);
+    }
+  }
+
+  bool offer_batch(ReplicaId id, Bytes batch) {
+    std::vector<Effect> out;
+    const bool taken = engines_[id].on_batch(std::move(batch), out);
+    absorb(id, out);
+    return taken;
+  }
+
+  void suspect(ReplicaId id) {
+    std::vector<Effect> out;
+    engines_[id].on_suspect_leader(out);
+    absorb(id, out);
+  }
+
+  /// Current leader engine, if any replica believes it leads the max view.
+  Engine* current_leader() {
+    Engine* best = nullptr;
+    for (auto& engine : engines_) {
+      if (engine.is_leader() && (best == nullptr || engine.view() > best->view())) {
+        best = &engine;
+      }
+    }
+    return best;
+  }
+
+  struct DeliveredEntry {
+    InstanceId instance;
+    Bytes value;
+  };
+  const std::vector<DeliveredEntry>& delivered(ReplicaId id) const { return delivered_[id]; }
+
+  const std::map<ReplicaId, std::vector<InstanceId>>& snapshots_installed() const {
+    return snapshots_installed_;
+  }
+
+  std::deque<PendingMessage>& pending() { return pending_; }
+
+ private:
+  Config config_;
+  std::deque<Engine> engines_;
+  std::deque<PendingMessage> pending_;
+  std::vector<std::vector<DeliveredEntry>> delivered_;
+  std::vector<std::map<std::uint64_t, Message>> retransmits_;
+  std::map<ReplicaId, std::vector<InstanceId>> snapshots_installed_;
+};
+
+}  // namespace mcsmr::paxos::testing

@@ -1,0 +1,106 @@
+#include "paxos/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsmr::paxos {
+namespace {
+
+Bytes val(std::uint8_t b) { return Bytes{b}; }
+
+TEST(ReplicatedLog, StartsEmpty) {
+  ReplicatedLog log;
+  EXPECT_EQ(log.base(), 0u);
+  EXPECT_EQ(log.first_undecided(), 0u);
+  EXPECT_EQ(log.end(), 0u);
+  EXPECT_EQ(log.find(0), nullptr);
+  EXPECT_FALSE(log.is_decided(0));
+}
+
+TEST(ReplicatedLog, EntryCreatesUpTo) {
+  ReplicatedLog log;
+  log.entry(5).state = InstanceState::kKnown;
+  EXPECT_EQ(log.end(), 6u);
+  EXPECT_NE(log.find(3), nullptr);
+  EXPECT_EQ(log.find(3)->state, InstanceState::kUnknown);
+  EXPECT_EQ(log.first_undecided(), 0u);
+}
+
+TEST(ReplicatedLog, DecideAdvancesContiguousPrefix) {
+  ReplicatedLog log;
+  EXPECT_TRUE(log.decide(1, val(1)));
+  EXPECT_EQ(log.first_undecided(), 0u) << "gap at 0 blocks the cursor";
+  EXPECT_TRUE(log.decide(0, val(0)));
+  EXPECT_EQ(log.first_undecided(), 2u) << "cursor jumps over both";
+  EXPECT_TRUE(log.decide(2, val(2)));
+  EXPECT_EQ(log.first_undecided(), 3u);
+}
+
+TEST(ReplicatedLog, DecideIsIdempotent) {
+  ReplicatedLog log;
+  EXPECT_TRUE(log.decide(0, val(1)));
+  EXPECT_FALSE(log.decide(0, val(2)));
+  EXPECT_EQ(log.find(0)->value, val(1)) << "second decide must not overwrite";
+}
+
+TEST(ReplicatedLog, TruncateDropsPrefix) {
+  ReplicatedLog log;
+  for (InstanceId id = 0; id < 10; ++id) log.decide(id, val(static_cast<std::uint8_t>(id)));
+  log.truncate_before(5);
+  EXPECT_EQ(log.base(), 5u);
+  EXPECT_EQ(log.find(4), nullptr);
+  EXPECT_NE(log.find(5), nullptr);
+  EXPECT_TRUE(log.is_decided(3)) << "truncated instances count as decided";
+  EXPECT_EQ(log.first_undecided(), 10u);
+}
+
+TEST(ReplicatedLog, TruncateBelowBaseIsNoop) {
+  ReplicatedLog log;
+  log.decide(0, val(0));
+  log.truncate_before(1);
+  log.truncate_before(0);  // no-op
+  EXPECT_EQ(log.base(), 1u);
+}
+
+TEST(ReplicatedLog, TruncatePastEndLeavesEmptyLog) {
+  ReplicatedLog log;
+  log.decide(0, val(0));
+  log.truncate_before(100);
+  EXPECT_EQ(log.base(), 100u);
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.first_undecided(), 100u);
+  EXPECT_EQ(log.end(), 100u);
+}
+
+TEST(ReplicatedLog, DecideBelowBaseIgnored) {
+  ReplicatedLog log;
+  log.decide(0, val(0));
+  log.truncate_before(5);
+  EXPECT_FALSE(log.decide(2, val(2)));
+}
+
+TEST(ReplicatedLog, VoteBookkeeping) {
+  ReplicatedLog log;
+  LogEntry& e = log.entry(0);
+  e.vote_view = 3;
+  e.vote_mask = 0b101;
+  EXPECT_EQ(e.vote_count(), 2);
+  EXPECT_FALSE(e.decided());
+  EXPECT_FALSE(e.has_value());
+  e.state = InstanceState::kKnown;
+  EXPECT_TRUE(e.has_value());
+}
+
+TEST(ReplicatedLog, FirstUndecidedSkipsDecidedIslands) {
+  ReplicatedLog log;
+  log.decide(0, val(0));
+  log.decide(2, val(2));
+  log.decide(4, val(4));
+  EXPECT_EQ(log.first_undecided(), 1u);
+  log.decide(1, val(1));
+  EXPECT_EQ(log.first_undecided(), 3u);
+  log.decide(3, val(3));
+  EXPECT_EQ(log.first_undecided(), 5u);
+}
+
+}  // namespace
+}  // namespace mcsmr::paxos

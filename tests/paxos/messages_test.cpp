@@ -1,0 +1,155 @@
+#include "paxos/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rand.hpp"
+
+namespace mcsmr::paxos {
+namespace {
+
+template <typename T>
+T round_trip(ReplicaId from, const T& message) {
+  Bytes frame = encode_message(from, Message{message});
+  WireMessage wire = decode_message(frame);
+  EXPECT_EQ(wire.from, from);
+  EXPECT_TRUE(std::holds_alternative<T>(wire.message));
+  return std::get<T>(wire.message);
+}
+
+TEST(Messages, PrepareRoundTrip) {
+  Prepare m{42, 17};
+  auto decoded = round_trip<Prepare>(2, m);
+  EXPECT_EQ(decoded.view, 42u);
+  EXPECT_EQ(decoded.from_instance, 17u);
+}
+
+TEST(Messages, PrepareOkRoundTrip) {
+  PrepareOk m;
+  m.view = 7;
+  m.first_undecided = 3;
+  m.entries.push_back(PrepareEntry{3, 5, false, Bytes{1, 2}});
+  m.entries.push_back(PrepareEntry{4, 6, true, Bytes{}});
+  auto decoded = round_trip<PrepareOk>(0, m);
+  ASSERT_EQ(decoded.entries.size(), 2u);
+  EXPECT_EQ(decoded.entries[0].instance, 3u);
+  EXPECT_EQ(decoded.entries[0].accepted_view, 5u);
+  EXPECT_FALSE(decoded.entries[0].decided);
+  EXPECT_EQ(decoded.entries[0].value, (Bytes{1, 2}));
+  EXPECT_TRUE(decoded.entries[1].decided);
+  EXPECT_TRUE(decoded.entries[1].value.empty());
+}
+
+TEST(Messages, ProposeRoundTrip) {
+  Propose m{9, 100, Bytes{9, 8, 7}};
+  auto decoded = round_trip<Propose>(1, m);
+  EXPECT_EQ(decoded.view, 9u);
+  EXPECT_EQ(decoded.instance, 100u);
+  EXPECT_EQ(decoded.value, (Bytes{9, 8, 7}));
+}
+
+TEST(Messages, AcceptRoundTrip) {
+  auto decoded = round_trip<Accept>(4, Accept{11, 12});
+  EXPECT_EQ(decoded.view, 11u);
+  EXPECT_EQ(decoded.instance, 12u);
+}
+
+TEST(Messages, HeartbeatRoundTrip) {
+  auto decoded = round_trip<Heartbeat>(0, Heartbeat{5, 1000});
+  EXPECT_EQ(decoded.view, 5u);
+  EXPECT_EQ(decoded.first_undecided, 1000u);
+}
+
+TEST(Messages, CatchupQueryRoundTrip) {
+  CatchupQuery m;
+  m.from_instance = 10;
+  m.instances = {10, 12, 15};
+  auto decoded = round_trip<CatchupQuery>(2, m);
+  EXPECT_EQ(decoded.from_instance, 10u);
+  EXPECT_EQ(decoded.instances, (std::vector<InstanceId>{10, 12, 15}));
+}
+
+TEST(Messages, CatchupReplyRoundTrip) {
+  CatchupReply m;
+  m.decided.push_back(CatchupDecided{10, Bytes{1}});
+  m.decided.push_back(CatchupDecided{12, Bytes{2, 3}});
+  auto decoded = round_trip<CatchupReply>(1, m);
+  ASSERT_EQ(decoded.decided.size(), 2u);
+  EXPECT_EQ(decoded.decided[1].instance, 12u);
+  EXPECT_EQ(decoded.decided[1].value, (Bytes{2, 3}));
+}
+
+TEST(Messages, SnapshotOfferRoundTrip) {
+  SnapshotOffer m{500, Bytes{1, 2, 3}, Bytes{4, 5}};
+  auto decoded = round_trip<SnapshotOffer>(2, m);
+  EXPECT_EQ(decoded.next_instance, 500u);
+  EXPECT_EQ(decoded.state, (Bytes{1, 2, 3}));
+  EXPECT_EQ(decoded.reply_cache, (Bytes{4, 5}));
+}
+
+TEST(Messages, UnknownTagRejected) {
+  ByteWriter writer;
+  writer.u32(0);   // from
+  writer.u8(200);  // bogus tag
+  EXPECT_THROW(decode_message(writer.view()), DecodeError);
+}
+
+TEST(Messages, TrailingBytesRejected) {
+  Bytes frame = encode_message(0, Message{Accept{1, 2}});
+  frame.push_back(0xFF);
+  EXPECT_THROW(decode_message(frame), DecodeError);
+}
+
+TEST(Messages, TruncatedRejected) {
+  Bytes frame = encode_message(0, Message{Propose{1, 2, Bytes{1, 2, 3}}});
+  frame.resize(frame.size() - 2);
+  EXPECT_THROW(decode_message(frame), DecodeError);
+}
+
+TEST(Messages, NamesAreStable) {
+  EXPECT_STREQ(message_name(Message{Prepare{}}), "Prepare");
+  EXPECT_STREQ(message_name(Message{Propose{}}), "Propose");
+  EXPECT_STREQ(message_name(Message{Accept{}}), "Accept");
+  EXPECT_STREQ(message_name(Message{SnapshotOffer{}}), "SnapshotOffer");
+}
+
+TEST(Batch, EncodeDecodeRoundTrip) {
+  std::vector<Request> requests;
+  requests.push_back(Request{1, 10, Bytes{1, 2, 3}});
+  requests.push_back(Request{2, 20, Bytes{}});
+  Bytes value = encode_batch(requests);
+  auto decoded = decode_batch(value);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0], requests[0]);
+  EXPECT_EQ(decoded[1], requests[1]);
+}
+
+TEST(Batch, EmptyBatchIsNoop) {
+  Bytes value = encode_batch({});
+  EXPECT_TRUE(decode_batch(value).empty());
+}
+
+TEST(Batch, TrailingGarbageRejected) {
+  Bytes value = encode_batch({Request{1, 1, Bytes{1}}});
+  value.push_back(7);
+  EXPECT_THROW(decode_batch(value), DecodeError);
+}
+
+TEST(BatchProperty, RandomRoundTrips) {
+  Rng rng(31337);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<Request> requests;
+    const int n = static_cast<int>(rng.uniform(20));
+    for (int i = 0; i < n; ++i) {
+      Request request;
+      request.client_id = rng.next_u64();
+      request.seq = rng.next_u64();
+      request.payload.resize(rng.uniform(300));
+      for (auto& byte : request.payload) byte = static_cast<std::uint8_t>(rng.next_u64());
+      requests.push_back(std::move(request));
+    }
+    EXPECT_EQ(decode_batch(encode_batch(requests)), requests);
+  }
+}
+
+}  // namespace
+}  // namespace mcsmr::paxos

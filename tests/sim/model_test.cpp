@@ -1,0 +1,218 @@
+// Shape tests for the calibrated performance model: the properties the
+// paper's figures exhibit must hold for the model output.
+#include "sim/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace mcsmr::sim {
+namespace {
+
+ModelInput paper_input(int cores) {
+  ModelInput input;
+  input.cores = cores;
+  return input;
+}
+
+TEST(ScalingCurve, InterpolatesAndExtrapolates) {
+  ScalingCurve curve;
+  EXPECT_DOUBLE_EQ(curve.at(1), 1.0);
+  EXPECT_NEAR(curve.at(2), 1.95, 1e-9);
+  EXPECT_GT(curve.at(3), curve.at(2));
+  EXPECT_LT(curve.at(3), curve.at(4));
+  EXPECT_GT(curve.at(30), curve.at(24));  // continues final slope
+}
+
+TEST(RequestsPerBatch, PaperBatchGeometry) {
+  // 128-byte requests in BSZ=1300: the paper's Fig 10c reports ~10
+  // requests per full batch; our encoded size gives 8.
+  const double b = requests_per_batch(1300, 128);
+  EXPECT_GE(b, 8.0);
+  EXPECT_LE(b, 11.0);
+  EXPECT_EQ(requests_per_batch(650, 128), std::floor((650.0 - 4) / 152));
+  EXPECT_EQ(requests_per_batch(100, 128), 1.0) << "oversized request still ships";
+}
+
+TEST(SmrModel, ThroughputMonotonicInCores) {
+  SmrModel model;
+  double last = 0;
+  for (int cores = 1; cores <= 24; ++cores) {
+    const auto out = model.evaluate(paper_input(cores));
+    EXPECT_GE(out.throughput_rps, last - 1e-6) << "cores " << cores;
+    last = out.throughput_rps;
+  }
+}
+
+TEST(SmrModel, PaperHeadlineShape) {
+  SmrModel model;
+  const auto at1 = model.evaluate(paper_input(1));
+  const auto at8 = model.evaluate(paper_input(8));
+  const auto at12 = model.evaluate(paper_input(12));
+  const auto at24 = model.evaluate(paper_input(24));
+
+  // ~6x speedup by 8 cores (paper abstract).
+  EXPECT_GE(at8.speedup, 5.0);
+  EXPECT_LE(at8.speedup, 8.0);
+  // Saturation at the NIC by 12 cores, ~100K req/s, flat to 24.
+  EXPECT_EQ(at12.bottleneck, "leader NIC pps");
+  EXPECT_NEAR(at12.throughput_rps, 100'000, 30'000);
+  EXPECT_NEAR(at24.throughput_rps, at12.throughput_rps, 1.0);
+  // No degradation at 24 cores.
+  EXPECT_GE(at24.throughput_rps, at12.throughput_rps - 1e-6);
+  // 1-core throughput in the paper's ballpark (~15K).
+  EXPECT_NEAR(at1.throughput_rps, 15'000, 8'000);
+}
+
+TEST(SmrModel, CpuGrowsSlowerThanThroughput) {
+  // Paper Figs 5a/7: ~6x throughput with ~4x CPU (1->6 cores).
+  SmrModel model;
+  const auto at1 = model.evaluate(paper_input(1));
+  const auto at6 = model.evaluate(paper_input(6));
+  const double speedup = at6.throughput_rps / at1.throughput_rps;
+  const double cpu_growth = at6.total_cpu_cores / at1.total_cpu_cores;
+  EXPECT_GT(speedup, cpu_growth) << "CPU must grow slower than throughput";
+}
+
+TEST(SmrModel, BlockedTimeStaysLow) {
+  SmrModel model;
+  for (int cores : {1, 8, 16, 24}) {
+    const auto out = model.evaluate(paper_input(cores));
+    EXPECT_LT(out.total_blocked_cores, 0.25) << cores << " cores (paper: <20%)";
+  }
+}
+
+TEST(SmrModel, FiveReplicasLowerSpeedup) {
+  // Paper Fig 4b: n=5 peaks near 5.5 vs 6.5 for n=3 (more messages through
+  // the single Protocol thread).
+  SmrModel model;
+  ModelInput n3 = paper_input(24);
+  ModelInput n5 = paper_input(24);
+  n5.n = 5;
+  const auto out3 = model.evaluate(n3);
+  const auto out5 = model.evaluate(n5);
+  EXPECT_LT(out5.speedup, out3.speedup);
+  EXPECT_GT(out5.speedup, out3.speedup * 0.6);
+}
+
+TEST(SmrModel, ClientIoThreadSweepHasPeakAndDip) {
+  // Fig 9: 1 IO thread chokes (~40K), ~4 peaks (>100K), >8 dips.
+  SmrModel model;
+  ModelInput input = paper_input(24);
+  input.clientio_threads = 1;
+  const double at1 = model.evaluate(input).throughput_rps;
+  input.clientio_threads = 4;
+  const double at4 = model.evaluate(input).throughput_rps;
+  input.clientio_threads = 16;
+  const double at16 = model.evaluate(input).throughput_rps;
+  EXPECT_LT(at1, 0.6 * at4);
+  EXPECT_LT(at16, at4);
+  EXPECT_GT(at16, 0.5 * at4);
+}
+
+TEST(SmrModel, SmallBatchesChokeOnNic) {
+  // Table III: BSZ=650 caps ~83K, BSZ>=1300 reaches ~114-120K.
+  SmrModel model;
+  ModelInput small = paper_input(24);
+  small.batch_bytes = 650;
+  ModelInput normal = paper_input(24);
+  normal.batch_bytes = 1300;
+  ModelInput big = paper_input(24);
+  big.batch_bytes = 5200;
+  const double x_small = model.evaluate(small).throughput_rps;
+  const double x_normal = model.evaluate(normal).throughput_rps;
+  const double x_big = model.evaluate(big).throughput_rps;
+  EXPECT_LT(x_small, 0.87 * x_normal) << "650-byte batches waste frames";
+  EXPECT_NEAR(x_big, x_normal, 0.15 * x_normal) << "beyond MTU-filling, flat";
+}
+
+TEST(SmrModel, LatencyInflatesNearNicSaturation) {
+  SmrModel model;
+  const auto idle = model.evaluate(paper_input(1));
+  const auto saturated = model.evaluate(paper_input(24));
+  EXPECT_GT(saturated.instance_latency_ns, 3 * idle.instance_latency_ns)
+      << "Table II: leader RTT inflates from 0.06ms to ~2.5ms";
+}
+
+TEST(ZkModel, RisesThenCollapses) {
+  // Fig 1a: peak ~4 cores, then degradation; 24-core throughput well below
+  // the peak.
+  ZkModel model;
+  double peak = 0;
+  int peak_cores = 0;
+  std::map<int, double> series;
+  for (int cores = 1; cores <= 24; ++cores) {
+    const double x = model.evaluate(paper_input(cores)).throughput_rps;
+    series[cores] = x;
+    if (x > peak) {
+      peak = x;
+      peak_cores = cores;
+    }
+  }
+  EXPECT_GE(peak_cores, 2);
+  EXPECT_LE(peak_cores, 8) << "peak should come early";
+  EXPECT_LT(series[24], 0.75 * peak) << "must degrade at 24 cores";
+  EXPECT_GT(series[24], 0.2 * peak);
+  // The decline must be monotone past the peak (lock convoy worsens).
+  for (int cores = peak_cores + 1; cores < 24; ++cores) {
+    EXPECT_LE(series[cores + 1], series[cores] + 1e-6) << "at " << cores;
+  }
+}
+
+TEST(ZkModel, ContentionExplodesWithCores) {
+  // Fig 13b: aggregate blocked time exceeds 100% of a core at high cores.
+  ZkModel model;
+  const auto at2 = model.evaluate(paper_input(2));
+  const auto at24 = model.evaluate(paper_input(24));
+  EXPECT_GT(at24.total_blocked_cores, 0.8);
+  EXPECT_GT(at24.total_blocked_cores, 2 * at2.total_blocked_cores);
+}
+
+TEST(ZkModel, CpuBurnsOnContentionWhileThroughputDrops) {
+  // Fig 13a: CPU keeps rising past the throughput peak (wasted on the lock).
+  ZkModel model;
+  const auto at4 = model.evaluate(paper_input(4));
+  const auto at10 = model.evaluate(paper_input(10));
+  EXPECT_LT(at10.throughput_rps, at4.throughput_rps * 1.05);
+  EXPECT_GT(at10.total_cpu_cores, at4.total_cpu_cores * 0.9);
+}
+
+TEST(Comparison, SmrBeatsZkAtScale) {
+  // Fig 12: comparable at low cores; JPaxos ~3-4x ahead at 24.
+  SmrModel smr;
+  ZkModel zk;
+  const double smr1 = smr.evaluate(paper_input(1)).throughput_rps;
+  const double zk1 = zk.evaluate(paper_input(1)).throughput_rps;
+  EXPECT_LT(std::abs(smr1 - zk1), std::max(smr1, zk1) * 0.8)
+      << "1-core throughputs are same order";
+  const double smr24 = smr.evaluate(paper_input(24)).throughput_rps;
+  const double zk24 = zk.evaluate(paper_input(24)).throughput_rps;
+  EXPECT_GT(smr24 / zk24, 2.5) << "paper: ~100K vs <30K";
+}
+
+TEST(Comparison, ZkBlockedDwarfsSmrBlocked) {
+  SmrModel smr;
+  ZkModel zk;
+  const auto s = smr.evaluate(paper_input(24));
+  const auto z = zk.evaluate(paper_input(24));
+  EXPECT_GT(z.total_blocked_cores, 4 * s.total_blocked_cores);
+}
+
+TEST(ThreadBusyFractions, AreSaneFractions) {
+  SmrModel smr;
+  ZkModel zk;
+  for (int cores : {1, 8, 24}) {
+    for (const auto& [name, frac] : smr.evaluate(paper_input(cores)).thread_busy_frac) {
+      EXPECT_GE(frac, 0.0) << name;
+      EXPECT_LE(frac, 1.05) << name << " at " << cores;
+    }
+    for (const auto& [name, frac] : zk.evaluate(paper_input(cores)).thread_busy_frac) {
+      EXPECT_GE(frac, 0.0) << name;
+      EXPECT_LE(frac, 1.3) << name << " at " << cores;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcsmr::sim

@@ -1,0 +1,60 @@
+#include "smr/client_proto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsmr::smr {
+namespace {
+
+TEST(ClientProto, RequestRoundTrip) {
+  ClientRequestFrame frame{42, 7, 3, Bytes{1, 2, 3}};
+  auto decoded = decode_client_frame(encode_client_request(frame));
+  ASSERT_EQ(decoded.kind, ClientFrameKind::kRequest);
+  EXPECT_EQ(decoded.request.client_id, 42u);
+  EXPECT_EQ(decoded.request.seq, 7u);
+  EXPECT_EQ(decoded.request.reply_node, 3u);
+  EXPECT_EQ(decoded.request.payload, (Bytes{1, 2, 3}));
+}
+
+TEST(ClientProto, ReplyRoundTrip) {
+  ClientReplyFrame frame{42, 7, ReplyStatus::kRedirect, Bytes{9}};
+  auto decoded = decode_client_frame(encode_client_reply(frame));
+  ASSERT_EQ(decoded.kind, ClientFrameKind::kReply);
+  EXPECT_EQ(decoded.reply.client_id, 42u);
+  EXPECT_EQ(decoded.reply.seq, 7u);
+  EXPECT_EQ(decoded.reply.status, ReplyStatus::kRedirect);
+  EXPECT_EQ(decoded.reply.payload, Bytes{9});
+}
+
+TEST(ClientProto, EmptyPayloads) {
+  auto request = decode_client_frame(encode_client_request(ClientRequestFrame{1, 1, 0, {}}));
+  EXPECT_TRUE(request.request.payload.empty());
+  auto reply =
+      decode_client_frame(encode_client_reply(ClientReplyFrame{1, 1, ReplyStatus::kOk, {}}));
+  EXPECT_TRUE(reply.reply.payload.empty());
+}
+
+TEST(ClientProto, UnknownKindRejected) {
+  Bytes bogus = {9, 0, 0};
+  EXPECT_THROW(decode_client_frame(bogus), DecodeError);
+}
+
+TEST(ClientProto, TruncatedRejected) {
+  Bytes frame = encode_client_request(ClientRequestFrame{1, 2, 3, Bytes{4}});
+  frame.pop_back();
+  EXPECT_THROW(decode_client_frame(frame), DecodeError);
+}
+
+TEST(ClientProto, TrailingBytesRejected) {
+  Bytes frame = encode_client_reply(ClientReplyFrame{1, 2, ReplyStatus::kOk, {}});
+  frame.push_back(0);
+  EXPECT_THROW(decode_client_frame(frame), DecodeError);
+}
+
+TEST(ClientProto, LeaderHintRoundTrip) {
+  EXPECT_EQ(*decode_leader_hint(encode_leader_hint(2)), 2u);
+  EXPECT_FALSE(decode_leader_hint(Bytes{1, 2}).has_value());
+  EXPECT_FALSE(decode_leader_hint({}).has_value());
+}
+
+}  // namespace
+}  // namespace mcsmr::smr

@@ -1,0 +1,146 @@
+#include "smr/reply_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/clock.hpp"
+
+namespace mcsmr::smr {
+namespace {
+
+TEST(ReplyCache, NewClientIsNew) {
+  ReplyCache cache;
+  auto result = cache.lookup(1, 1);
+  EXPECT_EQ(result.state, ReplyCache::Lookup::kNew);
+}
+
+TEST(ReplyCache, CachedReplyForDuplicate) {
+  ReplyCache cache;
+  cache.update(1, 5, Bytes{42});
+  auto result = cache.lookup(1, 5);
+  EXPECT_EQ(result.state, ReplyCache::Lookup::kCached);
+  EXPECT_EQ(result.reply, Bytes{42});
+}
+
+TEST(ReplyCache, OlderSeqIsOld) {
+  ReplyCache cache;
+  cache.update(1, 5, Bytes{1});
+  EXPECT_EQ(cache.lookup(1, 4).state, ReplyCache::Lookup::kOld);
+  EXPECT_EQ(cache.lookup(1, 6).state, ReplyCache::Lookup::kNew);
+}
+
+TEST(ReplyCache, AdmittedSuppressesRetry) {
+  ReplyCache cache;
+  cache.mark_admitted(7, 3);
+  EXPECT_EQ(cache.lookup(7, 3).state, ReplyCache::Lookup::kExecuting);
+  EXPECT_EQ(cache.lookup(7, 4).state, ReplyCache::Lookup::kNew);
+}
+
+TEST(ReplyCache, AdmittedMarkExpires) {
+  ReplyCache cache(8, /*admitted_ttl_ns=*/20 * kMillis);
+  cache.mark_admitted(7, 3);
+  EXPECT_EQ(cache.lookup(7, 3).state, ReplyCache::Lookup::kExecuting);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(cache.lookup(7, 3).state, ReplyCache::Lookup::kNew)
+      << "expired admit mark must allow re-ordering";
+}
+
+TEST(ReplyCache, ExecutionOverridesAdmitted) {
+  ReplyCache cache;
+  cache.mark_admitted(1, 1);
+  cache.update(1, 1, Bytes{9});
+  auto result = cache.lookup(1, 1);
+  EXPECT_EQ(result.state, ReplyCache::Lookup::kCached);
+  EXPECT_EQ(result.reply, Bytes{9});
+}
+
+TEST(ReplyCache, ExecutedPredicate) {
+  ReplyCache cache;
+  EXPECT_FALSE(cache.executed(1, 1));
+  cache.update(1, 3, Bytes{});
+  EXPECT_TRUE(cache.executed(1, 3));
+  EXPECT_TRUE(cache.executed(1, 2)) << "older seqs count as executed";
+  EXPECT_FALSE(cache.executed(1, 4));
+}
+
+TEST(ReplyCache, StaleDoubleDecideDoesNotRegress) {
+  ReplyCache cache;
+  cache.update(1, 5, Bytes{5});
+  cache.update(1, 3, Bytes{3});  // late double-decide of an old request
+  auto result = cache.lookup(1, 5);
+  EXPECT_EQ(result.state, ReplyCache::Lookup::kCached);
+  EXPECT_EQ(result.reply, Bytes{5});
+}
+
+TEST(ReplyCache, ManyClientsAcrossStripes) {
+  ReplyCache cache(16);
+  for (paxos::ClientId c = 0; c < 1000; ++c) {
+    cache.update(c, 1, Bytes{static_cast<std::uint8_t>(c)});
+  }
+  EXPECT_EQ(cache.size(), 1000u);
+  for (paxos::ClientId c = 0; c < 1000; ++c) {
+    auto result = cache.lookup(c, 1);
+    ASSERT_EQ(result.state, ReplyCache::Lookup::kCached);
+    EXPECT_EQ(result.reply[0], static_cast<std::uint8_t>(c));
+  }
+}
+
+TEST(ReplyCache, SerializeInstallRoundTrip) {
+  ReplyCache cache;
+  for (paxos::ClientId c = 1; c <= 50; ++c) {
+    cache.update(c, c * 2, Bytes{static_cast<std::uint8_t>(c)});
+  }
+  Bytes blob = cache.serialize();
+
+  ReplyCache fresh;
+  fresh.install(blob);
+  EXPECT_EQ(fresh.size(), 50u);
+  for (paxos::ClientId c = 1; c <= 50; ++c) {
+    auto result = fresh.lookup(c, c * 2);
+    ASSERT_EQ(result.state, ReplyCache::Lookup::kCached) << "client " << c;
+    EXPECT_EQ(result.reply[0], static_cast<std::uint8_t>(c));
+  }
+}
+
+TEST(ReplyCache, InstallReplacesExistingState) {
+  ReplyCache cache;
+  cache.update(99, 1, Bytes{1});
+  ReplyCache source;
+  source.update(1, 1, Bytes{2});
+  cache.install(source.serialize());
+  EXPECT_EQ(cache.lookup(99, 1).state, ReplyCache::Lookup::kNew);
+  EXPECT_EQ(cache.lookup(1, 1).state, ReplyCache::Lookup::kCached);
+}
+
+TEST(ReplyCache, ConcurrentReadersAndWriter) {
+  // The paper's §V-D access pattern: many ClientIO readers, one
+  // ServiceManager writer.
+  ReplyCache cache(64);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    paxos::RequestSeq seq = 1;
+    while (!stop.load()) {
+      for (paxos::ClientId c = 0; c < 100; ++c) cache.update(c, seq, Bytes{1});
+      ++seq;
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 50000; ++i) {
+        auto result = cache.lookup(static_cast<paxos::ClientId>(i % 100), 1);
+        // Must be Cached or Old (never crashes / torn reads).
+        ASSERT_TRUE(result.state == ReplyCache::Lookup::kCached ||
+                    result.state == ReplyCache::Lookup::kOld ||
+                    result.state == ReplyCache::Lookup::kNew);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  stop.store(true);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace mcsmr::smr

@@ -1,0 +1,87 @@
+// Integration-test fixture: a full SimNet cluster of real threaded
+// replicas plus helper accessors.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "net/simnet.hpp"
+#include "smr/client.hpp"
+#include "smr/replica.hpp"
+
+namespace mcsmr::smr::testing {
+
+inline net::SimNetParams fast_net() {
+  net::SimNetParams params;
+  params.one_way_ns = 20'000;  // 20 us
+  params.node_pps = 0;         // unlimited: correctness tests, not benches
+  params.node_bandwidth_bps = 0;
+  return params;
+}
+
+class SimCluster {
+ public:
+  using ServiceFactory = std::function<std::unique_ptr<Service>()>;
+
+  explicit SimCluster(Config config, net::SimNetParams net_params = fast_net(),
+                      ServiceFactory factory = [] { return std::make_unique<NullService>(); })
+      : config_(config), net_(net_params) {
+    for (int id = 0; id < config_.n; ++id) {
+      nodes_.push_back(net_.add_node("replica-" + std::to_string(id)));
+    }
+    for (int id = 0; id < config_.n; ++id) {
+      replicas_.push_back(Replica::create_sim(config_, static_cast<ReplicaId>(id), net_,
+                                              nodes_, factory()));
+    }
+  }
+
+  ~SimCluster() { stop(); }
+
+  void start() {
+    for (auto& replica : replicas_) {
+      if (replica) replica->start();
+    }
+  }
+
+  void stop() {
+    for (auto& replica : replicas_) {
+      if (replica) replica->stop();
+    }
+  }
+
+  /// Kill one replica (stops its threads; peers see silence).
+  void crash(ReplicaId id) {
+    replicas_[id]->stop();
+  }
+
+  /// Wait until some replica claims leadership; returns its id.
+  std::optional<ReplicaId> wait_for_leader(std::uint64_t timeout_ns = 5 * kSeconds) {
+    const std::uint64_t deadline = mono_ns() + timeout_ns;
+    while (mono_ns() < deadline) {
+      for (auto& replica : replicas_) {
+        if (replica && replica->is_leader()) return replica->id();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return std::nullopt;
+  }
+
+  SimClient make_client(paxos::ClientId id) {
+    return SimClient(net_, nodes_, id, config_.client_io_threads);
+  }
+
+  Config& config() { return config_; }
+  net::SimNetwork& net() { return net_; }
+  const std::vector<net::NodeId>& nodes() const { return nodes_; }
+  Replica& replica(ReplicaId id) { return *replicas_[id]; }
+
+ private:
+  Config config_;
+  net::SimNetwork net_;
+  std::vector<net::NodeId> nodes_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+};
+
+}  // namespace mcsmr::smr::testing
