@@ -1,0 +1,21 @@
+# Resolve GoogleTest without assuming network access: prefer the system
+# package, then the vendored source tree Debian/Ubuntu install under
+# /usr/src/googletest, and only then FetchContent from the network.
+# Guarantees the GTest::gtest_main target exists afterwards.
+
+find_package(GTest QUIET)
+if(NOT GTest_FOUND)
+  if(EXISTS /usr/src/googletest/CMakeLists.txt)
+    add_subdirectory(/usr/src/googletest
+                     ${CMAKE_BINARY_DIR}/_deps/googletest EXCLUDE_FROM_ALL)
+  else()
+    include(FetchContent)
+    FetchContent_Declare(googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+      URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+    FetchContent_MakeAvailable(googletest)
+  endif()
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endif()

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# The tier-1 verify from ROADMAP.md, as one command:
+#   configure -> build -> ctest (all tests must pass).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+cd build
+exec ctest --output-on-failure -j "$(nproc)"

@@ -3,7 +3,8 @@
 namespace mcsmr {
 
 void ByteWriter::patch_u32(std::size_t offset, std::uint32_t v) {
-  if (offset + 4 > buf_.size()) {
+  // Written as a subtraction so a huge `offset` cannot wrap `offset + 4`.
+  if (offset > buf_.size() || buf_.size() - offset < 4) {
     throw std::out_of_range("patch_u32 past end of buffer");
   }
   for (std::size_t i = 0; i < 4; ++i) {

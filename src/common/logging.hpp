@@ -34,7 +34,7 @@ class Logger {
 
 namespace detail {
 struct LogLine {
-  explicit LogLine(LogLevel level) : level(level) {}
+  explicit LogLine(LogLevel line_level) : level(line_level) {}
   ~LogLine() { Logger::instance().write(level, stream.str()); }
   LogLevel level;
   std::ostringstream stream;

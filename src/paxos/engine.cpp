@@ -328,7 +328,7 @@ void Engine::handle_catchup_query(ReplicaId from, const CatchupQuery& m,
   if (!reply.decided.empty()) out.push_back(SendTo{from, std::move(reply)});
 }
 
-void Engine::handle_catchup_reply(ReplicaId from, const CatchupReply& m,
+void Engine::handle_catchup_reply(ReplicaId /*from*/, const CatchupReply& m,
                                   std::vector<Effect>& out) {
   for (const auto& item : m.decided) {
     if (item.instance < log_.base()) continue;
@@ -340,7 +340,7 @@ void Engine::handle_catchup_reply(ReplicaId from, const CatchupReply& m,
   }
 }
 
-void Engine::handle_snapshot_offer(ReplicaId from, const SnapshotOffer& m,
+void Engine::handle_snapshot_offer(ReplicaId /*from*/, const SnapshotOffer& m,
                                    std::vector<Effect>& out) {
   if (m.next_instance <= log_.first_undecided()) return;  // nothing new
   out.push_back(InstallSnapshot{m.next_instance, m.state, m.reply_cache});

@@ -35,7 +35,7 @@ class Service {
 class NullService : public Service {
  public:
   explicit NullService(std::size_t reply_bytes = 8) : reply_(reply_bytes, 0) {}
-  Bytes execute(const Bytes& request) override {
+  Bytes execute(const Bytes& /*request*/) override {
     ++executed_;
     return reply_;
   }

@@ -27,7 +27,6 @@ void TcpClientIo::start() {
   if (started_ || !listener_.has_value()) return;
   started_ = true;
   for (int t = 0; t < io_threads_; ++t) {
-    loops_[static_cast<std::size_t>(t)];  // constructed above
     threads_.emplace_back(config_.thread_name_prefix + "ClientIO-" + std::to_string(t),
                           [this, t] { loops_[static_cast<std::size_t>(t)]->run(); });
   }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rand.hpp"
 
 namespace mcsmr {
@@ -94,6 +96,15 @@ TEST(Bytes, PatchOutOfRangeThrows) {
   ByteWriter writer;
   writer.u16(1);
   EXPECT_THROW(writer.patch_u32(0, 1), std::out_of_range);
+}
+
+TEST(Bytes, PatchHugeOffsetDoesNotWrap) {
+  ByteWriter writer;
+  writer.u32(0);
+  // offset + 4 would wrap to 0 and pass a naive bounds check.
+  EXPECT_THROW(writer.patch_u32(std::numeric_limits<std::size_t>::max() - 3, 1),
+               std::out_of_range);
+  EXPECT_THROW(writer.patch_u32(writer.size() - 3, 1), std::out_of_range);
 }
 
 TEST(Bytes, EmptyReader) {
