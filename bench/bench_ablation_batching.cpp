@@ -4,6 +4,7 @@
 // pays once batches stop absorbing the load).
 #include <benchmark/benchmark.h>
 
+#include "gbench_glue.hpp"
 #include "paxos/batch_builder.hpp"
 #include "paxos/messages.hpp"
 
@@ -38,4 +39,8 @@ BENCHMARK(BM_BatchTimeoutPolling);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto args = mcsmr::bench::BenchArgs::parse(argc, argv, "ablation_batching");
+  mcsmr::bench::BenchReport report(args, "Ablation: batching and pipelining (§III-A)");
+  return mcsmr::bench::run_gbench_report(report, args, argc, argv);
+}

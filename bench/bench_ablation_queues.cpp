@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/queue.hpp"
+#include "gbench_glue.hpp"
 
 using namespace mcsmr;
 
@@ -85,4 +86,8 @@ BENCHMARK(BM_BlockingQueue_Uncontended);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto args = mcsmr::bench::BenchArgs::parse(argc, argv, "ablation_queues");
+  mcsmr::bench::BenchReport report(args, "Ablation: blocking queue vs lock-free rings (§V-E)");
+  return mcsmr::bench::run_gbench_report(report, args, argc, argv);
+}

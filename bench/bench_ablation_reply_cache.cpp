@@ -7,6 +7,7 @@
 
 #include <thread>
 
+#include "gbench_glue.hpp"
 #include "smr/reply_cache.hpp"
 
 using namespace mcsmr;
@@ -58,4 +59,8 @@ BENCHMARK(BM_ReplyCache)
     ->ArgsProduct({{1, 4, 64}, {1, 2, 4}})
     ->ArgNames({"stripes", "readers"});
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto args = mcsmr::bench::BenchArgs::parse(argc, argv, "ablation_reply_cache");
+  mcsmr::bench::BenchReport report(args, "Ablation: reply-cache locking granularity (§V-D)");
+  return mcsmr::bench::run_gbench_report(report, args, argc, argv);
+}

@@ -10,6 +10,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "gbench_glue.hpp"
 #include "net/simnet.hpp"
 #include "smr/retransmitter.hpp"
 #include "smr/transport.hpp"
@@ -98,4 +99,8 @@ BENCHMARK(BM_ScheduleCancel_Locked);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto args = mcsmr::bench::BenchArgs::parse(argc, argv, "ablation_retransmit");
+  mcsmr::bench::BenchReport report(args, "Ablation: retransmission cancel path (§V-C4)");
+  return mcsmr::bench::run_gbench_report(report, args, argc, argv);
+}

@@ -3,6 +3,7 @@
 // cost in ClientIO threads, which justifies the parallel IO-thread pool.
 #include <benchmark/benchmark.h>
 
+#include "gbench_glue.hpp"
 #include "paxos/messages.hpp"
 #include "smr/client_proto.hpp"
 
@@ -11,7 +12,8 @@ using namespace mcsmr;
 namespace {
 
 void BM_EncodeClientRequest(benchmark::State& state) {
-  smr::ClientRequestFrame frame{12345, 678, 2, Bytes(static_cast<std::size_t>(state.range(0)), 0xAB)};
+  smr::ClientRequestFrame frame{12345, 678, 2,
+                                Bytes(static_cast<std::size_t>(state.range(0)), 0xAB)};
   for (auto _ : state) {
     benchmark::DoNotOptimize(smr::encode_client_request(frame));
   }
@@ -20,8 +22,8 @@ void BM_EncodeClientRequest(benchmark::State& state) {
 BENCHMARK(BM_EncodeClientRequest)->Arg(128)->Arg(1024)->Arg(8192);
 
 void BM_DecodeClientRequest(benchmark::State& state) {
-  Bytes wire = smr::encode_client_request(
-      smr::ClientRequestFrame{12345, 678, 2, Bytes(static_cast<std::size_t>(state.range(0)), 0xAB)});
+  Bytes wire = smr::encode_client_request(smr::ClientRequestFrame{
+      12345, 678, 2, Bytes(static_cast<std::size_t>(state.range(0)), 0xAB)});
   for (auto _ : state) {
     benchmark::DoNotOptimize(smr::decode_client_frame(wire));
   }
@@ -72,4 +74,8 @@ BENCHMARK(BM_DecodePaxosPropose);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto args = mcsmr::bench::BenchArgs::parse(argc, argv, "ablation_serde");
+  mcsmr::bench::BenchReport report(args, "Ablation: serialization cost (§VI-B)");
+  return mcsmr::bench::run_gbench_report(report, args, argc, argv);
+}

@@ -12,7 +12,10 @@
 
 using namespace mcsmr;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, "fig01");
+  bench::BenchReport report(args, "Figure 1: ZooKeeper-like baseline vs cores");
+
   bench::print_header("Figure 1a: ZooKeeper-like baseline throughput vs cores");
   sim::ZkModel model;
   std::printf("  %-6s %14s %10s  %s\n", "cores", "req/s [model]", "speedup", "bottleneck");
@@ -23,9 +26,15 @@ int main() {
     const auto out = model.evaluate(input);
     std::printf("  %-6d %14.0f %10.2f  %s\n", cores, out.throughput_rps,
                 out.throughput_rps / x1, out.bottleneck.c_str());
+    report.series("baseline throughput [model]", "model", "throughput", "req/s", "cores")
+        .config("n", 3)
+        .point(cores, out.throughput_rps);
+    report.series("baseline speedup [model]", "model", "speedup", "x", "cores")
+        .config("n", 3)
+        .point(cores, out.throughput_rps / x1);
   }
 
-  const int host = hardware_cores();
+  const int host = bench::real_core_cap(args);
   std::printf("\n  [real] baseline replica on this host (%d cores):\n", host);
   std::printf("  %-6s %14s %10s %12s\n", "cores", "req/s [real]", "CPU(cores)",
               "blocked(cores)");
@@ -37,9 +46,16 @@ int main() {
     params.net.node_bandwidth_bps = 0;
     params.swarm_workers = 2;
     params.clients_per_worker = 60;
-    const auto result = bench::run_real(params);
+    const auto result = bench::run_real(params, args);
     std::printf("  %-6d %14.0f %10.2f %12.2f\n", cores, result.throughput_rps,
                 result.total_cpu_cores, result.total_blocked_cores);
+    report.series("baseline throughput [real]", "real", "throughput", "req/s", "cores")
+        .config("n", 3)
+        .point(cores, result.throughput_rps, result.throughput_stderr);
+    report.series("baseline CPU [real]", "real", "cpu", "cores", "cores")
+        .point(cores, result.total_cpu_cores);
+    report.series("baseline blocked [real]", "real", "blocked", "cores", "cores")
+        .point(cores, result.total_blocked_cores);
   }
 
   bench::print_header("Figure 1b: per-thread state at the baseline leader");
@@ -51,9 +67,18 @@ int main() {
     params.net.node_bandwidth_bps = 0;
     params.swarm_workers = 2;
     params.clients_per_worker = 60;
-    const auto result = bench::run_real(params);
+    const auto result = bench::run_real(params, args);
     std::printf("  [real, %d cores]\n", host);
     bench::print_thread_table(result.leader_threads);
+    auto& busy = report.series("leader thread busy [real]", "real", "busy_frac", "fraction",
+                               "thread");
+    busy.config("cores", host);
+    for (const auto& snap : result.leader_threads) {
+      busy.labeled_point(snap.name, snap.busy_frac());
+      report.series("leader thread blocked [real]", "real", "blocked_frac", "fraction",
+                    "thread")
+          .labeled_point(snap.name, snap.blocked_frac());
+    }
   }
   {
     input.cores = 24;
@@ -61,9 +86,13 @@ int main() {
     std::printf("\n  [model, 24 cores] busy fractions (blocked time concentrates on the\n"
                 "  global lock: aggregate %.0f%% of one core):\n",
                 100.0 * out.total_blocked_cores);
-    for (const auto& [name, busy] : out.thread_busy_frac) {
-      std::printf("  %-24s %6.1f%%\n", name.c_str(), 100.0 * busy);
+    auto& busy = report.series("leader thread busy [model]", "model", "busy_frac", "fraction",
+                               "thread");
+    busy.config("cores", 24);
+    for (const auto& [name, frac] : out.thread_busy_frac) {
+      std::printf("  %-24s %6.1f%%\n", name.c_str(), 100.0 * frac);
+      busy.labeled_point(name, frac);
     }
   }
-  return 0;
+  return report.finish();
 }

@@ -7,8 +7,6 @@
 // Pass --calibrate to derive the model's stage demands from a live run of
 // the real implementation on this host instead of the paper-shape
 // defaults.
-#include <cstring>
-
 #include "harness.hpp"
 #include "sim/calibration.hpp"
 #include "sim/model.hpp"
@@ -16,8 +14,12 @@
 using namespace mcsmr;
 
 int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, "fig04");
+  bench::BenchReport report(args,
+                            "Figure 4: throughput & speedup vs cores (parapluie, n=3 and n=5)");
+
   sim::SmrModel model;
-  if (argc > 1 && std::strcmp(argv[1], "--calibrate") == 0) {
+  if (args.flag("--calibrate")) {
     std::printf("calibrating stage demands from a live run...\n");
     auto calibration = sim::calibrate_smr();
     if (calibration.ok) {
@@ -25,8 +27,10 @@ int main(int argc, char** argv) {
       std::printf("  measured %.0f req/s; clientio=%.0fns batcher=%.0fns exec=%.0fns\n",
                   calibration.measured_throughput_rps, calibration.profile.clientio_ns,
                   calibration.profile.batcher_ns, calibration.profile.replica_exec_ns);
+      report.env("calibrated", true);
     } else {
       std::printf("  calibration failed; using paper-shape defaults\n");
+      report.env("calibrated", false);
     }
   }
 
@@ -46,13 +50,24 @@ int main(int argc, char** argv) {
     std::printf("  %-6d | %14.0f %8.2f | %14.0f %8.2f | %s\n", cores, out3.throughput_rps,
                 out3.throughput_rps / x1_n3, out5.throughput_rps,
                 out5.throughput_rps / x1_n5, out3.bottleneck.c_str());
+    report.series("n=3 throughput [model]", "model", "throughput", "req/s", "cores")
+        .config("n", 3)
+        .point(cores, out3.throughput_rps);
+    report.series("n=5 throughput [model]", "model", "throughput", "req/s", "cores")
+        .config("n", 5)
+        .point(cores, out5.throughput_rps);
+    report.series("n=3 speedup [model]", "model", "speedup", "x", "cores")
+        .config("n", 3)
+        .point(cores, out3.throughput_rps / x1_n3);
+    report.series("n=5 speedup [model]", "model", "speedup", "x", "cores")
+        .config("n", 5)
+        .point(cores, out5.throughput_rps / x1_n5);
   }
 
-  const int host = hardware_cores();
   std::printf("\n  [real] full threaded implementation on this host:\n");
   std::printf("  %-6s %4s %14s %10s\n", "cores", "n", "req/s [real]", "CPU(cores)");
   for (int n : {3, 5}) {
-    for (int cores = 1; cores <= host; ++cores) {
+    for (int cores = 1; cores <= bench::real_core_cap(args); ++cores) {
       bench::RealRunParams params;
       params.config.n = n;
       params.cores = cores;
@@ -60,10 +75,17 @@ int main(int argc, char** argv) {
       params.net.node_bandwidth_bps = 0;
       params.swarm_workers = 2;
       params.clients_per_worker = 80;
-      const auto result = bench::run_real(params);
+      const auto result = bench::run_real(params, args);
       std::printf("  %-6d %4d %14.0f %10.2f\n", cores, n, result.throughput_rps,
                   result.total_cpu_cores);
+      const std::string tag = "n=" + std::to_string(n);
+      report.series(tag + " throughput [real]", "real", "throughput", "req/s", "cores")
+          .config("n", n)
+          .point(cores, result.throughput_rps, result.throughput_stderr);
+      report.series(tag + " CPU [real]", "real", "cpu", "cores", "cores")
+          .config("n", n)
+          .point(cores, result.total_cpu_cores);
     }
   }
-  return 0;
+  return report.finish();
 }

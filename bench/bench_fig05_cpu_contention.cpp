@@ -10,7 +10,9 @@
 
 using namespace mcsmr;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, "fig05");
+  bench::BenchReport report(args, "Figure 5: leader CPU & total blocked time vs cores");
   sim::SmrModel model;
 
   for (int n : {3, 5}) {
@@ -20,6 +22,7 @@ int main() {
                 "follower CPU est.");
     sim::ModelInput input;
     input.n = n;
+    const std::string tag = "n=" + std::to_string(n);
     for (int cores : bench::sweep_cores(24)) {
       input.cores = cores;
       const auto out = model.evaluate(input);
@@ -30,14 +33,20 @@ int main() {
       std::printf("  %-6d %12.0f %16.0f %16.0f\n", cores, 100.0 * out.total_cpu_cores,
                   100.0 * out.total_blocked_cores,
                   100.0 * out.total_cpu_cores * follower_frac);
+      report.series(tag + " leader CPU [model]", "model", "cpu", "percent_one_core", "cores")
+          .config("n", n)
+          .point(cores, 100.0 * out.total_cpu_cores);
+      report.series(tag + " blocked [model]", "model", "blocked", "percent_one_core", "cores")
+          .config("n", n)
+          .point(cores, 100.0 * out.total_blocked_cores);
     }
   }
 
-  const int host = hardware_cores();
   bench::print_header("Figure 5 [real] on this host");
   std::printf("  %-6s %4s %12s %16s\n", "cores", "n", "CPU (%1core)", "blocked (%1core)");
   for (int n : {3, 5}) {
-    for (int cores = 1; cores <= host; ++cores) {
+    const std::string tag = "n=" + std::to_string(n);
+    for (int cores = 1; cores <= bench::real_core_cap(args); ++cores) {
       bench::RealRunParams params;
       params.config.n = n;
       params.cores = cores;
@@ -45,12 +54,18 @@ int main() {
       params.net.node_bandwidth_bps = 0;
       params.swarm_workers = 2;
       params.clients_per_worker = 80;
-      const auto result = bench::run_real(params);
+      const auto result = bench::run_real(params, args);
       std::printf("  %-6d %4d %12.0f %16.1f\n", cores, n, 100.0 * result.total_cpu_cores,
                   100.0 * result.total_blocked_cores);
+      report.series(tag + " CPU [real]", "real", "cpu", "percent_one_core", "cores")
+          .config("n", n)
+          .point(cores, 100.0 * result.total_cpu_cores);
+      report.series(tag + " blocked [real]", "real", "blocked", "percent_one_core", "cores")
+          .config("n", n)
+          .point(cores, 100.0 * result.total_blocked_cores);
     }
   }
   std::printf("\n  (paper: blocked stays <20%% of one core at every core count — the\n"
               "   no-lock rule; compare bench_fig13_zookeeper_contention)\n");
-  return 0;
+  return report.finish();
 }

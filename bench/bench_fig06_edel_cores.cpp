@@ -31,7 +31,11 @@ mcsmr::sim::SmrModel edel_model() {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, "fig06");
+  bench::BenchReport report(args,
+                            "Figure 6: throughput & speedup vs cores (edel, 8-core nodes)");
+
   auto model = edel_model();
   bench::print_header("Figure 6: throughput & speedup vs cores (edel, 8-core nodes)");
   std::printf("  %-6s | %14s %8s | %14s %8s | %s\n", "cores", "n=3 req/s", "speedup",
@@ -49,8 +53,24 @@ int main() {
     std::printf("  %-6d | %14.0f %8.2f | %14.0f %8.2f | %s\n", cores, out3.throughput_rps,
                 out3.throughput_rps / x1_n3, out5.throughput_rps,
                 out5.throughput_rps / x1_n5, out3.bottleneck.c_str());
+    report.series("n=3 throughput [model]", "model", "throughput", "req/s", "cores")
+        .config("n", 3)
+        .config("cluster", "edel")
+        .point(cores, out3.throughput_rps);
+    report.series("n=5 throughput [model]", "model", "throughput", "req/s", "cores")
+        .config("n", 5)
+        .config("cluster", "edel")
+        .point(cores, out5.throughput_rps);
+    report.series("n=3 speedup [model]", "model", "speedup", "x", "cores")
+        .config("n", 3)
+        .config("cluster", "edel")
+        .point(cores, out3.throughput_rps / x1_n3);
+    report.series("n=5 speedup [model]", "model", "speedup", "x", "cores")
+        .config("n", 5)
+        .config("cluster", "edel")
+        .point(cores, out5.throughput_rps / x1_n5);
   }
   std::printf("\n  (paper: ~80K req/s and 7x speedup at 8 cores, network NOT saturated —\n"
               "   the bottleneck column should stay 'cpu' through 8 cores)\n");
-  return 0;
+  return report.finish();
 }

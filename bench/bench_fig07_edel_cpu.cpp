@@ -8,7 +8,10 @@
 
 using namespace mcsmr;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, "fig07");
+  bench::BenchReport report(args, "Figure 7: edel CPU usage and total blocked time vs cores");
+
   // Same edel scaling as bench_fig06.
   sim::SmrCostProfile profile;
   const double scale = 1.6;
@@ -32,6 +35,7 @@ int main() {
     sim::ModelInput input;
     input.n = n;
     const double x1 = model.evaluate(input).throughput_rps;
+    const std::string tag = "n=" + std::to_string(n);
     for (int cores = 1; cores <= 8; ++cores) {
       input.cores = cores;
       const auto out = model.evaluate(input);
@@ -39,9 +43,21 @@ int main() {
       std::printf("  %-6d %10.2f %14.0f %16.0f %12.2f\n", cores, speedup,
                   100.0 * out.total_cpu_cores, 100.0 * out.total_blocked_cores,
                   out.total_cpu_cores / (out.total_cpu_cores > 0 ? speedup : 1));
+      report.series(tag + " speedup [model]", "model", "speedup", "x", "cores")
+          .config("n", n)
+          .config("cluster", "edel")
+          .point(cores, speedup);
+      report.series(tag + " CPU [model]", "model", "cpu", "percent_one_core", "cores")
+          .config("n", n)
+          .config("cluster", "edel")
+          .point(cores, 100.0 * out.total_cpu_cores);
+      report.series(tag + " blocked [model]", "model", "blocked", "percent_one_core", "cores")
+          .config("n", n)
+          .config("cluster", "edel")
+          .point(cores, 100.0 * out.total_blocked_cores);
     }
   }
   std::printf("\n  (paper: CPU grows ~3x for a ~7x speedup — more cores let threads run\n"
               "   without context-switch/caching overhead; blocked stays <20%%)\n");
-  return 0;
+  return report.finish();
 }

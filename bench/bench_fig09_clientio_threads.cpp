@@ -9,7 +9,10 @@
 
 using namespace mcsmr;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, "fig09");
+  bench::BenchReport report(args, "Figure 9: ClientIO thread-pool size sweep");
+
   bench::print_header("Figure 9 [model]: sweep ClientIO threads at 24 cores");
   sim::SmrModel model;
   std::printf("  %-10s %14s %14s  %s\n", "io-threads", "req/s", "CPU (%1core)", "bottleneck");
@@ -20,12 +23,18 @@ int main() {
     const auto out = model.evaluate(input);
     std::printf("  %-10d %14.0f %14.0f  %s\n", threads, out.throughput_rps,
                 100.0 * out.total_cpu_cores, out.bottleneck.c_str());
+    report.series("throughput [model]", "model", "throughput", "req/s", "clientio_threads")
+        .config("cores", 24)
+        .point(threads, out.throughput_rps);
+    report.series("CPU [model]", "model", "cpu", "percent_one_core", "clientio_threads")
+        .config("cores", 24)
+        .point(threads, 100.0 * out.total_cpu_cores);
   }
 
   const int host = hardware_cores();
   bench::print_header("Figure 9 [real]: sweep ClientIO threads on this host");
   std::printf("  %-10s %14s %14s\n", "io-threads", "req/s", "CPU (%1core)");
-  for (int threads : {1, 2, 3, 4}) {
+  for (int threads : bench::smoke_thin(args, std::vector<int>{1, 2, 3, 4})) {
     bench::RealRunParams params;
     params.cores = host;
     params.config.client_io_threads = threads;
@@ -33,9 +42,15 @@ int main() {
     params.net.node_bandwidth_bps = 0;
     params.swarm_workers = 2;
     params.clients_per_worker = 80;
-    const auto result = bench::run_real(params);
+    const auto result = bench::run_real(params, args);
     std::printf("  %-10d %14.0f %14.0f\n", threads, result.throughput_rps,
                 100.0 * result.total_cpu_cores);
+    report.series("throughput [real]", "real", "throughput", "req/s", "clientio_threads")
+        .config("cores", host)
+        .point(threads, result.throughput_rps, result.throughput_stderr);
+    report.series("CPU [real]", "real", "cpu", "percent_one_core", "clientio_threads")
+        .config("cores", host)
+        .point(threads, 100.0 * result.total_cpu_cores);
   }
-  return 0;
+  return report.finish();
 }

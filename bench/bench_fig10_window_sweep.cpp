@@ -4,30 +4,46 @@
 //
 // These are REAL runs of the threaded implementation; the leader's NIC
 // packet budget is the binding constraint, exactly as in the paper. The
-// budget is scaled to this host (20K pkts/s instead of the paper's 150K —
-// two cores cannot drive 150K pkts/s through real threads), which scales
-// the absolute req/s by the same factor while preserving the shape:
-// throughput rises with WND while latency grows slower than the window,
-// then flattens once added window only adds queueing delay (paper: knee
-// at WND=35, RTT inflated to ~2.5 ms).
+// budget is scaled to this host (see harness.hpp; override with
+// --budget), which scales the absolute req/s by the same factor while
+// preserving the shape: throughput rises with WND while latency grows
+// slower than the window, then flattens once added window only adds
+// queueing delay (paper: knee at WND=35, RTT inflated to ~2.5 ms).
 #include "harness.hpp"
 
 using namespace mcsmr;
 
-int main() {
-  bench::print_header("Figure 10 [real]: WND sweep (BSZ=1300, scaled NIC regime, see harness.hpp)");
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, "fig10");
+  bench::BenchReport report(args, "Figure 10: window-size (WND) sweep at BSZ=1300");
+
+  bench::print_header(
+      "Figure 10 [real]: WND sweep (BSZ=1300, scaled NIC regime, see harness.hpp)");
   std::printf("  %-6s %12s %16s %12s %12s\n", "WND", "req/s", "inst. lat (ms)",
               "avg batch", "avg window");
-  for (std::uint32_t wnd : {5u, 10u, 20u, 35u, 50u}) {
+  for (std::uint32_t wnd :
+       bench::smoke_thin(args, std::vector<std::uint32_t>{5, 10, 20, 35, 50})) {
     bench::RealRunParams params;
     params.config.window_size = wnd;
-    bench::apply_scaled_nic_regime(params);
-    const auto result = bench::run_real(params);
+    bench::apply_scaled_nic_regime(params, args);
+    const auto result = bench::run_real(params, args);
     std::printf("  %-6u %12.0f %16.3f %12.1f %12.1f\n", wnd, result.throughput_rps,
                 result.leader_rtt_during_ns / 1e6, result.avg_batch_requests,
                 result.queues.window_mean);
+    const double node_pps = params.net.node_pps;
+    report.series("throughput [real]", "real", "throughput", "req/s", "WND")
+        .config("BSZ", 1300)
+        .config("node_pps", node_pps)
+        .point(wnd, result.throughput_rps, result.throughput_stderr);
+    report.series("instance latency [real]", "real", "latency", "ms", "WND")
+        .config("node_pps", node_pps)
+        .point(wnd, result.leader_rtt_during_ns / 1e6);
+    report.series("avg batch [real]", "real", "batch_requests", "requests", "WND")
+        .point(wnd, result.avg_batch_requests);
+    report.series("avg window [real]", "real", "window_in_use", "instances", "WND")
+        .point(wnd, result.queues.window_mean, result.queues.window_stderr);
   }
   std::printf("\n  (paper shape: req/s rises 100K->120K up to WND=35 then dips slightly;\n"
               "   instance latency grows with WND; batches stay full; window tracks WND)\n");
-  return 0;
+  return report.finish();
 }

@@ -10,20 +10,37 @@
 
 using namespace mcsmr;
 
-int main() {
-  bench::print_header("Figure 11 [real]: BSZ sweep (WND=35, scaled NIC regime, see harness.hpp)");
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, "fig11");
+  bench::BenchReport report(args, "Figure 11: batch-size (BSZ) sweep at WND=35");
+
+  bench::print_header(
+      "Figure 11 [real]: BSZ sweep (WND=35, scaled NIC regime, see harness.hpp)");
   std::printf("  %-8s %12s %16s %14s %12s\n", "BSZ", "req/s", "inst. lat (ms)",
               "avg batch req", "avg window");
-  for (std::uint32_t bsz : {650u, 1300u, 2600u, 5200u, 10400u}) {
+  for (std::uint32_t bsz :
+       bench::smoke_thin(args, std::vector<std::uint32_t>{650, 1300, 2600, 5200, 10400})) {
     bench::RealRunParams params;
     params.config.window_size = 35;
     params.config.batch_max_bytes = bsz;
-    bench::apply_scaled_nic_regime(params);
-    const auto result = bench::run_real(params);
+    bench::apply_scaled_nic_regime(params, args);
+    const auto result = bench::run_real(params, args);
     std::printf("  %-8u %12.0f %16.3f %14.1f %12.1f\n", bsz, result.throughput_rps,
                 result.leader_rtt_during_ns / 1e6, result.avg_batch_requests,
                 result.queues.window_mean);
+    const double node_pps = params.net.node_pps;
+    report.series("throughput [real]", "real", "throughput", "req/s", "BSZ")
+        .config("WND", 35)
+        .config("node_pps", node_pps)
+        .point(bsz, result.throughput_rps, result.throughput_stderr);
+    report.series("instance latency [real]", "real", "latency", "ms", "BSZ")
+        .config("node_pps", node_pps)
+        .point(bsz, result.leader_rtt_during_ns / 1e6);
+    report.series("avg batch [real]", "real", "batch_requests", "requests", "BSZ")
+        .point(bsz, result.avg_batch_requests);
+    report.series("avg window [real]", "real", "window_in_use", "instances", "BSZ")
+        .point(bsz, result.queues.window_mean, result.queues.window_stderr);
   }
   std::printf("\n  (paper shape: 650 -> 1300 jumps 83K->114K; >=1300 flat at ~120K)\n");
-  return 0;
+  return report.finish();
 }

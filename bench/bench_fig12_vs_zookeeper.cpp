@@ -8,7 +8,10 @@
 
 using namespace mcsmr;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, "fig12");
+  bench::BenchReport report(args, "Figure 12: staged architecture vs ZooKeeper-like baseline");
+
   bench::print_header("Figure 12 [model]: mcsmr vs ZooKeeper-like baseline, n=3");
   sim::SmrModel smr_model;
   sim::ZkModel zk_model;
@@ -25,23 +28,36 @@ int main() {
                 smr_out.throughput_rps, smr_out.throughput_rps / smr_x1,
                 zk_out.throughput_rps, zk_out.throughput_rps / zk_x1,
                 smr_out.throughput_rps / zk_out.throughput_rps);
+    report.series("mcsmr throughput [model]", "model", "throughput", "req/s", "cores")
+        .config("n", 3)
+        .point(cores, smr_out.throughput_rps);
+    report.series("baseline throughput [model]", "model", "throughput", "req/s", "cores")
+        .config("n", 3)
+        .point(cores, zk_out.throughput_rps);
+    report.series("throughput ratio [model]", "model", "ratio", "x", "cores")
+        .point(cores, smr_out.throughput_rps / zk_out.throughput_rps);
   }
 
-  const int host = hardware_cores();
   bench::print_header("Figure 12 [real] on this host");
   std::printf("  %-6s %14s %14s\n", "cores", "mcsmr req/s", "zk req/s");
-  for (int cores = 1; cores <= host; ++cores) {
+  for (int cores = 1; cores <= bench::real_core_cap(args); ++cores) {
     bench::RealRunParams params;
     params.cores = cores;
     params.net.node_pps = 0;
     params.net.node_bandwidth_bps = 0;
     params.swarm_workers = 2;
     params.clients_per_worker = 60;
-    const auto smr_result = bench::run_real(params);
+    const auto smr_result = bench::run_real(params, args);
     params.baseline = true;
-    const auto zk_result = bench::run_real(params);
+    const auto zk_result = bench::run_real(params, args);
     std::printf("  %-6d %14.0f %14.0f\n", cores, smr_result.throughput_rps,
                 zk_result.throughput_rps);
+    report.series("mcsmr throughput [real]", "real", "throughput", "req/s", "cores")
+        .config("n", 3)
+        .point(cores, smr_result.throughput_rps, smr_result.throughput_stderr);
+    report.series("baseline throughput [real]", "real", "throughput", "req/s", "cores")
+        .config("n", 3)
+        .point(cores, zk_result.throughput_rps, zk_result.throughput_stderr);
   }
-  return 0;
+  return report.finish();
 }

@@ -9,7 +9,10 @@
 
 using namespace mcsmr;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, "fig13");
+  bench::BenchReport report(args, "Figure 13: baseline CPU usage and contention vs cores");
+
   bench::print_header("Figure 13 [model]: baseline CPU & contention vs cores");
   sim::ZkModel model;
   std::printf("  %-6s %14s %14s %18s\n", "cores", "req/s", "CPU (%1core)",
@@ -20,13 +23,19 @@ int main() {
     const auto out = model.evaluate(input);
     std::printf("  %-6d %14.0f %14.0f %18.0f\n", cores, out.throughput_rps,
                 100.0 * out.total_cpu_cores, 100.0 * out.total_blocked_cores);
+    report.series("throughput [model]", "model", "throughput", "req/s", "cores")
+        .config("n", 3)
+        .point(cores, out.throughput_rps);
+    report.series("CPU [model]", "model", "cpu", "percent_one_core", "cores")
+        .point(cores, 100.0 * out.total_cpu_cores);
+    report.series("blocked [model]", "model", "blocked", "percent_one_core", "cores")
+        .point(cores, 100.0 * out.total_blocked_cores);
   }
 
-  const int host = hardware_cores();
   bench::print_header("Figure 13 [real] baseline on this host");
   std::printf("  %-6s %14s %14s %18s\n", "cores", "req/s", "CPU (%1core)",
               "blocked (%1core)");
-  for (int cores = 1; cores <= host; ++cores) {
+  for (int cores = 1; cores <= bench::real_core_cap(args); ++cores) {
     bench::RealRunParams params;
     params.baseline = true;
     params.cores = cores;
@@ -34,9 +43,16 @@ int main() {
     params.net.node_bandwidth_bps = 0;
     params.swarm_workers = 2;
     params.clients_per_worker = 60;
-    const auto result = bench::run_real(params);
+    const auto result = bench::run_real(params, args);
     std::printf("  %-6d %14.0f %14.0f %18.1f\n", cores, result.throughput_rps,
                 100.0 * result.total_cpu_cores, 100.0 * result.total_blocked_cores);
+    report.series("throughput [real]", "real", "throughput", "req/s", "cores")
+        .config("n", 3)
+        .point(cores, result.throughput_rps, result.throughput_stderr);
+    report.series("CPU [real]", "real", "cpu", "percent_one_core", "cores")
+        .point(cores, 100.0 * result.total_cpu_cores);
+    report.series("blocked [real]", "real", "blocked", "percent_one_core", "cores")
+        .point(cores, 100.0 * result.total_blocked_cores);
   }
-  return 0;
+  return report.finish();
 }

@@ -10,9 +10,11 @@
 
 using namespace mcsmr;
 
-int main() {
-  const int host = hardware_cores();
-  for (int cores = 1; cores <= host; cores *= 2) {
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, "fig14");
+  bench::BenchReport report(args, "Figure 14: baseline leader per-thread CPU utilization");
+
+  for (int cores = 1; cores <= bench::real_core_cap(args); cores *= 2) {
     bench::RealRunParams params;
     params.baseline = true;
     params.cores = cores;
@@ -20,11 +22,22 @@ int main() {
     params.net.node_bandwidth_bps = 0;
     params.swarm_workers = 2;
     params.clients_per_worker = 60;
-    const auto result = bench::run_real(params);
+    const auto result = bench::run_real(params, args);
     bench::print_header("Figure 14 [real]: baseline leader threads at " +
                         std::to_string(cores) + " core(s), " +
                         std::to_string(static_cast<int>(result.throughput_rps)) + " req/s");
     bench::print_thread_table(result.leader_threads);
+    const std::string tag = std::to_string(cores) + " core";
+    auto& busy =
+        report.series(tag + " busy [real]", "real", "busy_frac", "fraction", "thread");
+    auto& blocked =
+        report.series(tag + " blocked [real]", "real", "blocked_frac", "fraction", "thread");
+    busy.config("cores", cores);
+    blocked.config("cores", cores);
+    for (const auto& snap : result.leader_threads) {
+      busy.labeled_point(snap.name, snap.busy_frac());
+      blocked.labeled_point(snap.name, snap.blocked_frac());
+    }
   }
 
   bench::print_header("Figure 14 [model]: baseline at 24 cores");
@@ -32,10 +45,16 @@ int main() {
   sim::ModelInput input;
   input.cores = 24;
   const auto out = model.evaluate(input);
-  for (const auto& [name, busy] : out.thread_busy_frac) {
-    std::printf("  %-24s busy %6.1f%%\n", name.c_str(), 100.0 * busy);
+  auto& busy24 =
+      report.series("24 core busy [model]", "model", "busy_frac", "fraction", "thread");
+  busy24.config("cores", 24);
+  for (const auto& [name, frac] : out.thread_busy_frac) {
+    std::printf("  %-24s busy %6.1f%%\n", name.c_str(), 100.0 * frac);
+    busy24.labeled_point(name, frac);
   }
   std::printf("  aggregate lock-blocked time: %.0f%% of one core\n",
               100.0 * out.total_blocked_cores);
-  return 0;
+  report.series("24 core blocked total [model]", "model", "blocked", "cores", "cores")
+      .point(24, out.total_blocked_cores);
+  return report.finish();
 }

@@ -12,22 +12,36 @@
 
 using namespace mcsmr;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, "table1");
+  bench::BenchReport report(args, "Table I: internal queue occupancy vs WND");
+
   bench::print_header("Table I [real]: queue averages vs WND (BSZ=1300, n=3)");
   std::printf("  %-5s | %18s | %16s | %18s | %16s\n", "WND", "RequestQueue",
               "ProposalQueue", "DispatcherQueue", "parallel ballots");
-  for (std::uint32_t wnd : {10u, 35u, 40u, 45u, 50u}) {
+  for (std::uint32_t wnd :
+       bench::smoke_thin(args, std::vector<std::uint32_t>{10, 35, 40, 45, 50})) {
     bench::RealRunParams params;
     params.config.window_size = wnd;
-    bench::apply_scaled_nic_regime(params);
-    const auto result = bench::run_real(params);
+    bench::apply_scaled_nic_regime(params, args);
+    const auto result = bench::run_real(params, args);
     std::printf("  %-5u | %10.2f ± %5.2f | %9.2f ± %4.2f | %11.2f ± %4.2f | %9.2f ± %4.2f\n",
                 wnd, result.queues.request_mean, result.queues.request_stderr,
                 result.queues.proposal_mean, result.queues.proposal_stderr,
                 result.queues.dispatcher_mean, result.queues.dispatcher_stderr,
                 result.queues.window_mean, result.queues.window_stderr);
+    report.series("RequestQueue [real]", "real", "queue_occupancy", "entries", "WND")
+        .config("BSZ", 1300)
+        .config("n", 3)
+        .point(wnd, result.queues.request_mean, result.queues.request_stderr);
+    report.series("ProposalQueue [real]", "real", "queue_occupancy", "entries", "WND")
+        .point(wnd, result.queues.proposal_mean, result.queues.proposal_stderr);
+    report.series("DispatcherQueue [real]", "real", "queue_occupancy", "entries", "WND")
+        .point(wnd, result.queues.dispatcher_mean, result.queues.dispatcher_stderr);
+    report.series("parallel ballots [real]", "real", "window_in_use", "instances", "WND")
+        .point(wnd, result.queues.window_mean, result.queues.window_stderr);
   }
   std::printf("\n  (paper: RequestQueue 256-630 of 1000; ProposalQueue ~13-15 of 20;\n"
               "   DispatcherQueue ~1-5; parallel ballots within ~5%% of WND)\n");
-  return 0;
+  return report.finish();
 }

@@ -10,13 +10,16 @@
 
 using namespace mcsmr;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, "table2");
+  bench::BenchReport report(args, "Table II: ping RTT idle vs under load");
+
   bench::print_header("Table II [real]: RTT probes (WND=35, BSZ=1300, n=3)");
 
   bench::RealRunParams params;
   params.config.window_size = 35;
-  bench::apply_scaled_nic_regime(params);
-  const auto result = bench::run_real(params);
+  bench::apply_scaled_nic_regime(params, args);
+  const auto result = bench::run_real(params, args);
 
   std::printf("  %-28s %12s\n", "link", "RTT (ms)");
   std::printf("  %-28s %12.3f\n", "idle: any <-> any", result.idle_rtt_ns / 1e6);
@@ -27,5 +30,14 @@ int main() {
   std::printf("\n  throughput during probes: %.0f req/s\n", result.throughput_rps);
   std::printf("  (paper: idle 0.06 ms; bystanders ~0.06-0.08 ms; leader ~2.5 ms —\n"
               "   the RTT inflation isolates the bottleneck to the leader's NIC)\n");
-  return 0;
+
+  auto& rtt = report.series("ping RTT [real]", "real", "rtt", "ms", "link");
+  rtt.config("WND", 35).config("BSZ", 1300).config("n", 3).config("node_pps",
+                                                                  params.net.node_pps);
+  rtt.labeled_point("idle: any <-> any", result.idle_rtt_ns / 1e6);
+  rtt.labeled_point("experiment: other <-> other", result.other_rtt_during_ns / 1e6);
+  rtt.labeled_point("experiment: leader <-> any", result.leader_rtt_during_ns / 1e6);
+  report.series("throughput during probes [real]", "real", "throughput", "req/s", "WND")
+      .point(35, result.throughput_rps, result.throughput_stderr);
+  return report.finish();
 }

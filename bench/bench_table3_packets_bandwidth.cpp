@@ -11,24 +11,43 @@
 
 using namespace mcsmr;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, "table3");
+  bench::BenchReport report(args, "Table III: leader network utilization vs BSZ");
+
   bench::print_header("Table III [real]: leader network utilization vs BSZ (WND=35)");
   std::printf("  %-8s %12s %14s %14s %12s %12s\n", "BSZ", "req/s", "pkts/s out",
               "pkts/s in", "MB/s out", "MB/s in");
-  for (std::uint32_t bsz : {650u, 1300u, 2600u, 5200u}) {
+  for (std::uint32_t bsz :
+       bench::smoke_thin(args, std::vector<std::uint32_t>{650, 1300, 2600, 5200})) {
     bench::RealRunParams params;
     params.config.window_size = 35;
     params.config.batch_max_bytes = bsz;
-    bench::apply_scaled_nic_regime(params);
-    const auto result = bench::run_real(params);
-    const double seconds = static_cast<double>(params.measure_ns) * 1e-9;
+    bench::apply_scaled_nic_regime(params, args);
+    const auto result = bench::run_real(params, args);
+    const double seconds = result.wall_s;
+    const double pkts_out = static_cast<double>(result.leader_net.packets_out) / seconds;
+    const double pkts_in = static_cast<double>(result.leader_net.packets_in) / seconds;
+    const double mb_out = static_cast<double>(result.leader_net.bytes_out) / seconds / 1e6;
+    const double mb_in = static_cast<double>(result.leader_net.bytes_in) / seconds / 1e6;
     std::printf("  %-8u %12.0f %14.0f %14.0f %12.2f %12.2f\n", bsz, result.throughput_rps,
-                static_cast<double>(result.leader_net.packets_out) / seconds,
-                static_cast<double>(result.leader_net.packets_in) / seconds,
-                static_cast<double>(result.leader_net.bytes_out) / seconds / 1e6,
-                static_cast<double>(result.leader_net.bytes_in) / seconds / 1e6);
+                pkts_out, pkts_in, mb_out, mb_in);
+    const double node_pps = params.net.node_pps;
+    report.series("throughput [real]", "real", "throughput", "req/s", "BSZ")
+        .config("WND", 35)
+        .config("node_pps", node_pps)
+        .point(bsz, result.throughput_rps, result.throughput_stderr);
+    report.series("packets out [real]", "real", "packet_rate", "pkts/s", "BSZ")
+        .config("node_pps", node_pps)
+        .point(bsz, pkts_out);
+    report.series("packets in [real]", "real", "packet_rate", "pkts/s", "BSZ")
+        .point(bsz, pkts_in);
+    report.series("bandwidth out [real]", "real", "bandwidth", "MB/s", "BSZ")
+        .point(bsz, mb_out);
+    report.series("bandwidth in [real]", "real", "bandwidth", "MB/s", "BSZ")
+        .point(bsz, mb_in);
   }
   std::printf("\n  (paper at 150K pkts/s budget: 650B->83K req/s, 1300B->114K, then flat;\n"
               "   pkts/s out pinned at the budget for every BSZ)\n");
-  return 0;
+  return report.finish();
 }

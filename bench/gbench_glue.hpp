@@ -1,0 +1,91 @@
+// Glue between Google Benchmark and the BENCH_*.json reporting layer.
+//
+// The five bench_ablation_* drivers keep Google Benchmark's console
+// output, but route every run through a reporter that also records it
+// into a BenchReport, so `--json` works uniformly across all 20 drivers.
+// Only included by drivers that are compiled when benchmark is found.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "report.hpp"
+
+namespace mcsmr::bench {
+
+namespace detail {
+// Google Benchmark 1.8 renamed Run::error_occurred to Run::skipped (an
+// enum whose zero value means "not skipped"). Feature-detect the member
+// so both API generations compile; the int overload wins when both exist.
+template <class R>
+auto run_was_skipped(const R& run, int) -> decltype(static_cast<bool>(run.error_occurred)) {
+  return static_cast<bool>(run.error_occurred);
+}
+template <class R>
+auto run_was_skipped(const R& run, long) -> decltype(static_cast<bool>(run.skipped)) {
+  return static_cast<bool>(run.skipped);
+}
+}  // namespace detail
+
+/// ConsoleReporter that tees each (non-aggregate, non-errored) run into
+/// the report: cpu ns/iteration always, items/s when the benchmark set a
+/// rate counter. With --benchmark_repetitions, repeated runs of the same
+/// benchmark aggregate into mean ± stderr (labeled_point semantics).
+class ReportingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingReporter(BenchReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (detail::run_was_skipped(run, 0) || run.run_type == Run::RT_Aggregate) continue;
+      report_.series("cpu time [real]", "real", "cpu_time_per_iteration", "ns", "benchmark")
+          .labeled_point(run.benchmark_name(), run.GetAdjustedCPUTime());
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        report_.series("items/s [real]", "real", "item_rate", "items/s", "benchmark")
+            .labeled_point(run.benchmark_name(), items->second.value);
+      }
+      const auto bytes = run.counters.find("bytes_per_second");
+      if (bytes != run.counters.end()) {
+        report_.series("bytes/s [real]", "real", "byte_rate", "bytes/s", "benchmark")
+            .labeled_point(run.benchmark_name(), bytes->second.value);
+      }
+    }
+  }
+
+ private:
+  BenchReport& report_;
+};
+
+/// Run the registered benchmarks with the shared flags applied (--smoke
+/// shortens min_time, --repeat maps to --benchmark_repetitions; any
+/// --benchmark_* passthrough flags still reach benchmark::Initialize) and
+/// finish the report. Returns the process exit code.
+inline int run_gbench_report(BenchReport& report, const BenchArgs& args, int argc,
+                             char** argv) {
+  std::vector<std::string> argv_storage(argv, argv + argc);
+  if (args.smoke) argv_storage.push_back("--benchmark_min_time=0.05");
+  if (args.repeat > 1) {
+    argv_storage.push_back("--benchmark_repetitions=" + std::to_string(args.repeat));
+    argv_storage.push_back("--benchmark_report_aggregates_only=false");
+  }
+  std::vector<char*> gbench_argv;
+  gbench_argv.reserve(argv_storage.size() + 1);
+  for (auto& arg : argv_storage) gbench_argv.push_back(arg.data());
+  gbench_argv.push_back(nullptr);
+  int gbench_argc = static_cast<int>(argv_storage.size());
+
+  benchmark::Initialize(&gbench_argc, gbench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(gbench_argc, gbench_argv.data())) return 1;
+  ReportingReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return report.finish();
+}
+
+}  // namespace mcsmr::bench

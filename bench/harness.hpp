@@ -8,6 +8,8 @@
 //             core counts this host does not have.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -19,6 +21,7 @@
 #include "metrics/sampler.hpp"
 #include "metrics/thread_stats.hpp"
 #include "net/simnet.hpp"
+#include "report.hpp"
 #include "smr/replica.hpp"
 #include "smr/swarm.hpp"
 
@@ -46,6 +49,9 @@ struct QueueAverages {
 
 struct RealRunResult {
   double throughput_rps = 0;
+  double throughput_stderr = 0;  ///< across --repeat runs (0 for a single run)
+  int repeats = 1;               ///< runs averaged into this result
+  double wall_s = 0;             ///< actual measurement-window wall time
   double total_cpu_cores = 0;     ///< process CPU time / wall time
   double total_blocked_cores = 0; ///< aggregate lock-blocked time / wall
   double client_latency_p50_us = 0;
@@ -166,6 +172,7 @@ inline RealRunResult run_real(const RealRunParams& params) {
   }
 
   const double wall_s = static_cast<double>(wall_ns) * 1e-9;
+  result.wall_s = wall_s;
   result.throughput_rps = static_cast<double>(completed) / wall_s;
   result.total_cpu_cores = static_cast<double>(cpu_ns) / static_cast<double>(wall_ns);
   result.client_latency_p50_us = static_cast<double>(latency.percentile(50)) / 1e3;
@@ -191,6 +198,77 @@ inline RealRunResult run_real(const RealRunParams& params) {
 
   if (params.cores > 0) unpin_process();
   return result;
+}
+
+/// Reproducible, repeatable variant: seeds the SimNet RNG from
+/// `args.seed` (+rep for each of the `--repeat` runs, so repeats are
+/// independent but the whole sweep replays from one recorded seed),
+/// shortens the windows in `--smoke` mode, and averages the runs. The
+/// returned `throughput_stderr` makes run-to-run variance visible in
+/// BENCH_*.json error bars.
+inline RealRunResult run_real(RealRunParams params, const BenchArgs& args) {
+  if (args.smoke) {
+    params.warmup_ns = std::max<std::uint64_t>(params.warmup_ns / 3, 100 * kMillis);
+    params.measure_ns = std::max<std::uint64_t>(params.measure_ns / 3, 300 * kMillis);
+  }
+  std::vector<RealRunResult> runs;
+  runs.reserve(static_cast<std::size_t>(args.repeat));
+  for (int rep = 0; rep < args.repeat; ++rep) {
+    params.net.seed = args.seed + static_cast<std::uint64_t>(rep);
+    runs.push_back(run_real(params));
+  }
+  if (runs.size() == 1) return runs.front();
+
+  const double count = static_cast<double>(runs.size());
+  const auto mean_of = [&](double RealRunResult::* field) {
+    double sum = 0;
+    for (const auto& r : runs) sum += r.*field;
+    return sum / count;
+  };
+  const auto queue_mean_of = [&](double QueueAverages::* field) {
+    double sum = 0;
+    for (const auto& r : runs) sum += r.queues.*field;
+    return sum / count;
+  };
+
+  RealRunResult avg = runs.back();  // thread snapshots: last run's
+  avg.repeats = static_cast<int>(runs.size());
+  avg.throughput_rps = mean_of(&RealRunResult::throughput_rps);
+  avg.wall_s = mean_of(&RealRunResult::wall_s);
+  avg.total_cpu_cores = mean_of(&RealRunResult::total_cpu_cores);
+  avg.total_blocked_cores = mean_of(&RealRunResult::total_blocked_cores);
+  avg.client_latency_p50_us = mean_of(&RealRunResult::client_latency_p50_us);
+  avg.leader_rtt_during_ns = mean_of(&RealRunResult::leader_rtt_during_ns);
+  avg.other_rtt_during_ns = mean_of(&RealRunResult::other_rtt_during_ns);
+  avg.idle_rtt_ns = mean_of(&RealRunResult::idle_rtt_ns);
+  avg.avg_batch_requests = mean_of(&RealRunResult::avg_batch_requests);
+  avg.queues.request_mean = queue_mean_of(&QueueAverages::request_mean);
+  avg.queues.request_stderr = queue_mean_of(&QueueAverages::request_stderr);
+  avg.queues.proposal_mean = queue_mean_of(&QueueAverages::proposal_mean);
+  avg.queues.proposal_stderr = queue_mean_of(&QueueAverages::proposal_stderr);
+  avg.queues.dispatcher_mean = queue_mean_of(&QueueAverages::dispatcher_mean);
+  avg.queues.dispatcher_stderr = queue_mean_of(&QueueAverages::dispatcher_stderr);
+  avg.queues.window_mean = queue_mean_of(&QueueAverages::window_mean);
+  avg.queues.window_stderr = queue_mean_of(&QueueAverages::window_stderr);
+  metrics::NetCounters::Snapshot net{};
+  for (const auto& r : runs) {
+    net.packets_out += r.leader_net.packets_out;
+    net.packets_in += r.leader_net.packets_in;
+    net.bytes_out += r.leader_net.bytes_out;
+    net.bytes_in += r.leader_net.bytes_in;
+  }
+  const auto n64 = static_cast<std::uint64_t>(runs.size());
+  avg.leader_net = {net.packets_out / n64, net.packets_in / n64, net.bytes_out / n64,
+                    net.bytes_in / n64};
+
+  double var = 0;
+  for (const auto& r : runs) {
+    const double d = r.throughput_rps - avg.throughput_rps;
+    var += d * d;
+  }
+  var /= count - 1;
+  avg.throughput_stderr = var > 0 ? std::sqrt(var / count) : 0;
+  return avg;
 }
 
 // --- output helpers -----------------------------------------------------
@@ -235,6 +313,31 @@ inline void apply_scaled_nic_regime(RealRunParams& params) {
   params.swarm_retry_timeout_ns = 8 * kSeconds;
   params.warmup_ns = 2 * kSeconds;
   params.measure_ns = 3 * kSeconds;
+}
+
+/// Scaled NIC regime with the shared-flag overrides applied: `--budget`
+/// replaces the packet budget (the bandwidth cap scales with it so the
+/// binding constraint stays packets, as in the paper).
+inline void apply_scaled_nic_regime(RealRunParams& params, const BenchArgs& args) {
+  apply_scaled_nic_regime(params);
+  if (args.budget_pps > 0) {
+    params.net.node_bandwidth_bps *= args.budget_pps / params.net.node_pps;
+    params.net.node_pps = args.budget_pps;
+  }
+}
+
+/// How many cores the [real] sweeps cover: every core this host has, or
+/// just one in `--smoke` mode (CI wants the pipeline exercised, not the
+/// full sweep).
+inline int real_core_cap(const BenchArgs& args) {
+  return args.smoke ? 1 : hardware_cores();
+}
+
+/// Thin a sweep list to its endpoints in `--smoke` mode.
+template <class T>
+inline std::vector<T> smoke_thin(const BenchArgs& args, std::vector<T> full) {
+  if (!args.smoke || full.size() <= 2) return full;
+  return {full.front(), full.back()};
 }
 
 /// The core counts a sweep covers: every real count this host has, then

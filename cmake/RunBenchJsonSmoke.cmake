@@ -1,0 +1,24 @@
+# CTest helper: run one bench driver with --json --smoke and validate the
+# emitted BENCH_*.json against the documented schema.
+# Inputs: BENCH_BIN, PYTHON, VALIDATOR, OUT_DIR.
+file(REMOVE_RECURSE ${OUT_DIR})
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+execute_process(
+  COMMAND ${BENCH_BIN} --json --smoke --out ${OUT_DIR}/
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH_BIN} --json --smoke failed (rc=${bench_rc})")
+endif()
+
+file(GLOB emitted ${OUT_DIR}/BENCH_*.json)
+if(emitted STREQUAL "")
+  message(FATAL_ERROR "no BENCH_*.json emitted into ${OUT_DIR}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${VALIDATOR} ${emitted}
+  RESULT_VARIABLE validate_rc)
+if(NOT validate_rc EQUAL 0)
+  message(FATAL_ERROR "schema validation failed (rc=${validate_rc})")
+endif()

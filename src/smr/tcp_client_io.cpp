@@ -30,7 +30,8 @@ void TcpClientIo::start() {
     threads_.emplace_back(config_.thread_name_prefix + "ClientIO-" + std::to_string(t),
                           [this, t] { loops_[static_cast<std::size_t>(t)]->run(); });
   }
-  accept_thread_ = metrics::NamedThread(config_.thread_name_prefix + "ClientIOAccept", [this] { accept_loop(); });
+  accept_thread_ = metrics::NamedThread(config_.thread_name_prefix + "ClientIOAccept",
+                                        [this] { accept_loop(); });
 }
 
 void TcpClientIo::stop() {

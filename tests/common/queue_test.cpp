@@ -122,7 +122,8 @@ TEST_P(QueueConcurrencyTest, NoLossNoDuplication) {
     threads.emplace_back([&, p] {
       for (int i = 0; i < kPerProducer; ++i) {
         // Encode producer id in the high bits, sequence in the low bits.
-        ASSERT_TRUE(queue.push((static_cast<std::uint64_t>(p) << 32) | static_cast<std::uint32_t>(i)));
+        ASSERT_TRUE(
+            queue.push((static_cast<std::uint64_t>(p) << 32) | static_cast<std::uint32_t>(i)));
       }
     });
   }

@@ -168,8 +168,14 @@ TEST(ThreadStats, FormatTableContainsAllThreads) {
 TEST(ThreadStats, TotalBlockedFraction) {
   ThreadRegistry::instance().clear();
   {
-    NamedThread t1("b1", [] { BlockedTimer timer; std::this_thread::sleep_for(std::chrono::milliseconds(20)); });
-    NamedThread t2("b2", [] { BlockedTimer timer; std::this_thread::sleep_for(std::chrono::milliseconds(20)); });
+    NamedThread t1("b1", [] {
+      BlockedTimer timer;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    });
+    NamedThread t2("b2", [] {
+      BlockedTimer timer;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    });
   }
   // Two threads each blocked ~20ms => total 40ms. Against a 100ms window
   // that is ~40%.

@@ -218,7 +218,9 @@ TEST(SimNet, ManyToOneStress) {
         Bytes payload(8);
         const std::uint64_t v =
             (static_cast<std::uint64_t>(s) << 32) | static_cast<std::uint32_t>(i);
-        for (int byte = 0; byte < 8; ++byte) payload[static_cast<std::size_t>(byte)] = static_cast<std::uint8_t>(v >> (8 * byte));
+        for (int byte = 0; byte < 8; ++byte) {
+          payload[static_cast<std::size_t>(byte)] = static_cast<std::uint8_t>(v >> (8 * byte));
+        }
         ASSERT_TRUE(net.send(senders[static_cast<std::size_t>(s)], sink, 0, std::move(payload)));
       }
     });
@@ -229,7 +231,9 @@ TEST(SimNet, ManyToOneStress) {
     auto msg = net.recv_for(sink, 0, 5 * kSeconds);
     ASSERT_TRUE(msg.has_value());
     std::uint64_t v = 0;
-    for (int byte = 0; byte < 8; ++byte) v |= static_cast<std::uint64_t>(msg->payload[static_cast<std::size_t>(byte)]) << (8 * byte);
+    for (int byte = 0; byte < 8; ++byte) {
+      v |= static_cast<std::uint64_t>(msg->payload[static_cast<std::size_t>(byte)]) << (8 * byte);
+    }
     EXPECT_TRUE(seen.insert(v).second) << "duplicate delivery";
   }
   for (auto& t : threads) t.join();

@@ -111,7 +111,9 @@ TEST(Tcp, ManySmallFramesPreserveOrder) {
       ASSERT_TRUE(frame.has_value());
       ASSERT_EQ(frame->size(), 4u);
       std::uint32_t v = 0;
-      for (int b = 0; b < 4; ++b) v |= static_cast<std::uint32_t>((*frame)[static_cast<std::size_t>(b)]) << (8 * b);
+      for (int b = 0; b < 4; ++b) {
+        v |= static_cast<std::uint32_t>((*frame)[static_cast<std::size_t>(b)]) << (8 * b);
+      }
       ASSERT_EQ(v, static_cast<std::uint32_t>(i));
     }
   });
@@ -120,7 +122,9 @@ TEST(Tcp, ManySmallFramesPreserveOrder) {
   ASSERT_TRUE(client.has_value());
   for (int i = 0; i < kFrames; ++i) {
     Bytes frame(4);
-    for (int b = 0; b < 4; ++b) frame[static_cast<std::size_t>(b)] = static_cast<std::uint8_t>(i >> (8 * b));
+    for (int b = 0; b < 4; ++b) {
+      frame[static_cast<std::size_t>(b)] = static_cast<std::uint8_t>(i >> (8 * b));
+    }
     ASSERT_TRUE(client->send_frame(frame));
   }
   server.join();

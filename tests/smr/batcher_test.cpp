@@ -46,7 +46,9 @@ TEST(Batcher, FullBatchShipsWithoutTimeout) {
   BatcherRig rig(config);
 
   // 9 x 128B requests overflow one 1300-byte batch.
-  for (int i = 0; i < 9; ++i) rig.requests.push(rig.request(128, static_cast<paxos::RequestSeq>(i)));
+  for (int i = 0; i < 9; ++i) {
+    rig.requests.push(rig.request(128, static_cast<paxos::RequestSeq>(i)));
+  }
   auto batch = rig.proposals.pop_for(2 * kSeconds);
   ASSERT_TRUE(batch.has_value());
   EXPECT_EQ(paxos::decode_batch(*batch).size(), 8u);

@@ -149,7 +149,9 @@ TEST(ReplicaSim, PartitionedFollowerCatchesUp) {
   cluster.net().set_partition(cluster.nodes()[2], cluster.nodes()[1], true);
 
   auto client = cluster.make_client(31);
-  for (int i = 0; i < 30; ++i) ASSERT_TRUE(client.call(Bytes{static_cast<std::uint8_t>(i)}).has_value());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(client.call(Bytes{static_cast<std::uint8_t>(i)}).has_value());
+  }
   EXPECT_EQ(cluster.replica(2).executed_requests(), 0u);
 
   // Heal; catch-up must close the gap.

@@ -109,8 +109,8 @@ TEST(ReplicaTcp, ConcurrentClients) {
     threads.emplace_back([&, c] {
       TcpClient client(cluster.client_ports(), static_cast<paxos::ClientId>(100 + c));
       for (int i = 0; i < kCallsEach; ++i) {
-        auto reply =
-            client.call(KvService::make_put("c" + std::to_string(c), Bytes{static_cast<std::uint8_t>(i)}));
+        auto reply = client.call(
+            KvService::make_put("c" + std::to_string(c), Bytes{static_cast<std::uint8_t>(i)}));
         if (reply.has_value()) ok.fetch_add(1);
       }
     });
