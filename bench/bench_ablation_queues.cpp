@@ -1,75 +1,126 @@
 // Ablation: queue implementations (§V-E / design choice).
 //
-// Compares the instrumented BoundedBlockingQueue (what the architecture
-// ships on every edge) against the lock-free MPMC and SPSC rings, under
-// the traffic patterns the real edges see.
+// Measures the two hot Fig 3 hand-offs on their REAL pipeline types, A/B
+// between the instrumented BoundedBlockingQueue (queue_impl=mutex) and the
+// lock-free rings with spin-then-park waiting (queue_impl=ring):
+//
+//   * ProposalQueue edge — PipelineQueue<Bytes>, paper capacity 20,
+//     1300-byte batches (BSZ), single Batcher producer, single Protocol
+//     consumer, blocking push (backpressure, no drops);
+//   * reply edge — PipelineQueue<ClientReplyFrame>, 8-byte replies,
+//     single ServiceManager producer, single ClientIO consumer;
+//
+// plus the raw ring and uncontended baselines that bound the attainable
+// speedup. The same A/B on the full pipeline is bench_fig08 --queue.
 #include <benchmark/benchmark.h>
 
 #include <thread>
 
 #include "common/queue.hpp"
 #include "gbench_glue.hpp"
+#include "smr/client_proto.hpp"
 
 using namespace mcsmr;
 
 namespace {
 
-void BM_BlockingQueue_Spsc(benchmark::State& state) {
-  BoundedBlockingQueue<std::uint64_t> queue(1024);
-  std::atomic<bool> stop{false};
+/// One producer (the benchmark thread) blocking-pushes through a
+/// PipelineQueue to one consumer thread — the shape of both hot edges.
+template <typename T, typename MakeItem>
+void run_edge(benchmark::State& state, QueueBackend backend, std::size_t capacity,
+              MakeItem make_item) {
+  PipelineQueue<T> queue(backend, capacity, "bench-edge");
   std::thread consumer([&] {
-    while (!stop.load(std::memory_order_relaxed)) {
-      if (auto v = queue.pop_for(1'000'000)) benchmark::DoNotOptimize(*v);
+    while (queue.pop().has_value()) {
     }
   });
-  std::uint64_t i = 0;
-  for (auto _ : state) queue.push(i++);
-  stop.store(true);
+  std::uint64_t items = 0;
+  for (auto _ : state) {
+    queue.push(make_item(items));
+    ++items;
+  }
   queue.close();
   consumer.join();
-  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+  state.SetItemsProcessed(static_cast<std::int64_t>(items));
 }
-BENCHMARK(BM_BlockingQueue_Spsc);
 
-void BM_SpscRing(benchmark::State& state) {
+Bytes proposal_batch(std::uint64_t i) {
+  Bytes batch(1300);  // BSZ: the paper's batch size
+  batch[0] = static_cast<std::uint8_t>(i);
+  return batch;
+}
+
+smr::ClientReplyFrame reply_frame(std::uint64_t i) {
+  return smr::ClientReplyFrame{i & 0xFF, i, smr::ReplyStatus::kOk, Bytes(8, 0x5A)};
+}
+
+void BM_ProposalEdge_Mutex(benchmark::State& state) {
+  run_edge<Bytes>(state, QueueBackend::kMutex, 20, proposal_batch);
+}
+BENCHMARK(BM_ProposalEdge_Mutex);
+
+void BM_ProposalEdge_SpscRing(benchmark::State& state) {
+  run_edge<Bytes>(state, QueueBackend::kSpsc, 20, proposal_batch);
+}
+BENCHMARK(BM_ProposalEdge_SpscRing);
+
+void BM_ReplyEdge_Mutex(benchmark::State& state) {
+  run_edge<smr::ClientReplyFrame>(state, QueueBackend::kMutex, 8192, reply_frame);
+}
+BENCHMARK(BM_ReplyEdge_Mutex);
+
+void BM_ReplyEdge_SpscRing(benchmark::State& state) {
+  run_edge<smr::ClientReplyFrame>(state, QueueBackend::kSpsc, 8192, reply_frame);
+}
+BENCHMARK(BM_ReplyEdge_SpscRing);
+
+// --- raw baselines (upper bound on the attainable hand-off rate) ---------
+
+void BM_SpscRing_Raw(benchmark::State& state) {
   SpscRing<std::uint64_t> ring(1024);
   std::atomic<bool> stop{false};
   std::thread consumer([&] {
     while (!stop.load(std::memory_order_relaxed)) {
-      if (auto v = ring.try_pop()) benchmark::DoNotOptimize(*v);
+      if (auto v = ring.try_pop()) {
+        benchmark::DoNotOptimize(*v);
+      } else {
+        std::this_thread::yield();
+      }
     }
   });
   std::uint64_t i = 0;
   for (auto _ : state) {
-    while (!ring.try_push(i)) {
-    }
+    while (!ring.try_push(i)) std::this_thread::yield();
     ++i;
   }
   stop.store(true);
   consumer.join();
   state.SetItemsProcessed(static_cast<std::int64_t>(i));
 }
-BENCHMARK(BM_SpscRing);
+BENCHMARK(BM_SpscRing_Raw);
 
-void BM_MpmcRing(benchmark::State& state) {
+void BM_MpmcRing_Raw(benchmark::State& state) {
   MpmcRing<std::uint64_t> ring(1024);
   std::atomic<bool> stop{false};
   std::thread consumer([&] {
     while (!stop.load(std::memory_order_relaxed)) {
-      if (auto v = ring.try_pop()) benchmark::DoNotOptimize(*v);
+      if (auto v = ring.try_pop()) {
+        benchmark::DoNotOptimize(*v);
+      } else {
+        std::this_thread::yield();
+      }
     }
   });
   std::uint64_t i = 0;
   for (auto _ : state) {
-    while (!ring.try_push(i)) {
-    }
+    while (!ring.try_push(i)) std::this_thread::yield();
     ++i;
   }
   stop.store(true);
   consumer.join();
   state.SetItemsProcessed(static_cast<std::int64_t>(i));
 }
-BENCHMARK(BM_MpmcRing);
+BENCHMARK(BM_MpmcRing_Raw);
 
 // Uncontended single-thread push/pop cost (the queue-op overhead every
 // request pays several times on its way through the pipeline).
@@ -84,10 +135,22 @@ void BM_BlockingQueue_Uncontended(benchmark::State& state) {
 }
 BENCHMARK(BM_BlockingQueue_Uncontended);
 
+void BM_RingQueue_Uncontended(benchmark::State& state) {
+  PipelineQueue<std::uint64_t> queue(QueueBackend::kSpsc, 1024, "uncontended");
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    queue.push(i++);
+    benchmark::DoNotOptimize(queue.try_pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_RingQueue_Uncontended);
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto args = mcsmr::bench::BenchArgs::parse(argc, argv, "ablation_queues");
-  mcsmr::bench::BenchReport report(args, "Ablation: blocking queue vs lock-free rings (§V-E)");
+  mcsmr::bench::BenchReport report(
+      args, "Ablation: blocking queue vs lock-free rings on the real pipeline edges (§V-E)");
   return mcsmr::bench::run_gbench_report(report, args, argc, argv);
 }

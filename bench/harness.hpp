@@ -211,6 +211,11 @@ inline RealRunResult run_real(RealRunParams params, const BenchArgs& args) {
     params.warmup_ns = std::max<std::uint64_t>(params.warmup_ns / 3, 100 * kMillis);
     params.measure_ns = std::max<std::uint64_t>(params.measure_ns / 3, 300 * kMillis);
   }
+  // --queue mutex|ring: the hot-path queue A/B knob (before/after
+  // BENCH_fig08/BENCH_fig04 comparisons run the same driver twice).
+  if (!args.queue_impl.empty()) {
+    params.config.apply_overrides({{"queue_impl", args.queue_impl}});
+  }
   std::vector<RealRunResult> runs;
   runs.reserve(static_cast<std::size_t>(args.repeat));
   for (int rep = 0; rep < args.repeat; ++rep) {

@@ -13,6 +13,7 @@
 #include <fstream>
 
 #include "common/affinity.hpp"
+#include "common/config.hpp"
 
 namespace mcsmr::bench {
 
@@ -160,6 +161,7 @@ namespace {
       "  --budget PPS    override the scaled-NIC packet budget\n"
       "  --smoke         short measurement windows + thinned sweeps\n"
       "  --seed S        base SimNet RNG seed (recorded in env{})\n"
+      "  --queue IMPL    hot-path queue implementation: mutex or ring\n"
       "  --help          this message\n"
       "\n"
       "Unrecognized flags are passed through to the driver (e.g. --calibrate,\n"
@@ -225,6 +227,12 @@ BenchArgs BenchArgs::parse(int& argc, char** argv, std::string figure) {
       args.seed = std::strtoull(seed_v, &end, 0);
       if (end == seed_v || *end != '\0') {
         std::fprintf(stderr, "error: --seed wants an unsigned integer, got '%s'\n", seed_v);
+        std::exit(2);
+      }
+    } else if (const char* queue_v = flag_value("--queue", argc, argv, i)) {
+      args.queue_impl = queue_v;
+      if (args.queue_impl != "mutex" && args.queue_impl != "ring") {
+        std::fprintf(stderr, "error: --queue wants mutex or ring, got '%s'\n", queue_v);
         std::exit(2);
       }
     } else {
@@ -341,6 +349,10 @@ BenchReport::BenchReport(const BenchArgs& args, std::string title)
   env("repeat", static_cast<std::int64_t>(args_.repeat));
   env("smoke", args_.smoke);
   env("budget_pps", args_.budget_pps);  // 0 = driver default
+  // Recorded only when --queue was passed explicitly: the flag pins
+  // Config::queue_impl in the run_real harness; gbench ablation drivers
+  // measure both backends regardless and must not claim otherwise.
+  if (!args_.queue_impl.empty()) env("queue_impl", args_.queue_impl);
 }
 
 BenchSeries& BenchReport::series(const std::string& name, const std::string& kind,

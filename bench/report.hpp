@@ -14,6 +14,8 @@
 //   --budget PPS    override the scaled-NIC packet budget
 //   --smoke         short measurement windows + thinned sweeps (CI)
 //   --seed S        base RNG seed for SimNet (recorded in env{})
+//   --queue IMPL    hot-path queue implementation: mutex or ring
+//                   (Config::queue_impl; the before/after A-B knob)
 // Unrecognized flags are left in argv for driver-specific handling
 // (e.g. --calibrate, --benchmark_* for the ablation drivers).
 #pragma once
@@ -83,6 +85,7 @@ struct BenchArgs {
   double budget_pps = 0;    ///< scaled-NIC packet budget override (0 = default)
   bool smoke = false;       ///< short windows + thinned sweeps
   std::uint64_t seed = 1;   ///< base SimNet RNG seed, recorded in env{}
+  std::string queue_impl;   ///< "" = config default, else "mutex"/"ring"
   std::string argv_line;    ///< the original command line, recorded in env{}
   std::vector<std::string> passthrough;  ///< flags left for the driver
 

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and flag throughput regressions.
+
+Usage:
+  scripts/bench_diff.py OLD.json NEW.json [options]
+
+Matches series by name and points by (x, label), then compares every
+series whose metric is in --metrics (default: throughput, item_rate).
+A point REGRESSES when the new mean is below the old mean by more than
+--sigma combined standard errors:
+
+    new.y < old.y - sigma * sqrt(old.stderr^2 + new.stderr^2)
+
+When neither file carries stderr (single-run data), the guard falls back
+to a relative threshold (--rel-threshold, default 10%): noise without
+error bars should not page anyone.
+
+Only [real] series gate by default: [model] points are deterministic per
+binary, so any model drift is reported as a CHANGE note instead (pass
+--gate-model to make model drift fail too).
+
+Exit status: 0 = no regressions, 1 = regressions found (0 with
+--warn-only), 2 = bad input. Typical wiring (CI bench-smoke):
+
+    scripts/bench_diff.py bench/baselines/BENCH_fig04_ring.json \
+        bench-results/BENCH_fig04.json --warn-only
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_diff: cannot read {path}: {err}")
+    if doc.get("schema_version") != 1:
+        sys.exit(f"bench_diff: {path}: unknown schema_version {doc.get('schema_version')}")
+    return doc
+
+
+def point_key(point):
+    label = point.get("label")
+    return ("label", label) if label is not None else ("x", point.get("x"))
+
+
+def index_series(doc):
+    return {series["name"]: series for series in doc.get("series", [])}
+
+
+def fmt(value):
+    if value is None:
+        return "null"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.4g}"
+
+
+def compare(old_doc, new_doc, args):
+    regressions, improvements, notes = [], [], []
+
+    old_env, new_env = old_doc.get("env", {}), new_doc.get("env", {})
+    for key in ("cores", "budget_pps"):
+        if old_env.get(key) != new_env.get(key):
+            notes.append(f"env.{key} differs ({old_env.get(key)} vs {new_env.get(key)}): "
+                         "[real] absolute values are not strictly comparable")
+
+    old_series = index_series(old_doc)
+    new_series = index_series(new_doc)
+    for name in old_series:
+        if name not in new_series:
+            notes.append(f"series dropped: {name!r}")
+    for name in new_series:
+        if name not in old_series:
+            notes.append(f"series added: {name!r}")
+
+    for name, old in sorted(old_series.items()):
+        new = new_series.get(name)
+        if new is None or old.get("metric") not in args.metrics:
+            continue
+        gated = old.get("kind") == "real" or args.gate_model
+        new_points = {point_key(p): p for p in new.get("points", [])}
+        for old_point in old.get("points", []):
+            key = point_key(old_point)
+            new_point = new_points.get(key)
+            where = f"{name} @ {key[1]}"
+            if new_point is None:
+                notes.append(f"point dropped: {where}")
+                continue
+            old_y, new_y = old_point.get("y"), new_point.get("y")
+            if old_y is None or new_y is None:
+                if old_y != new_y:
+                    notes.append(f"validity changed: {where}: {fmt(old_y)} -> {fmt(new_y)}")
+                continue
+            err = math.hypot(old_point.get("stderr", 0.0), new_point.get("stderr", 0.0))
+            if err > 0:
+                threshold = args.sigma * err
+            else:
+                threshold = args.rel_threshold * abs(old_y)
+            delta = new_y - old_y
+            line = (f"{where}: {fmt(old_y)} -> {fmt(new_y)} "
+                    f"({delta / old_y * 100.0 if old_y else 0.0:+.1f}%, "
+                    f"threshold ±{fmt(threshold)})")
+            if delta < -threshold:
+                (regressions if gated else notes).append(
+                    line if gated else f"model drift: {line}")
+            elif delta > threshold:
+                improvements.append(line)
+
+    return regressions, improvements, notes
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Flag throughput regressions between two BENCH_*.json files.")
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument("--sigma", type=float, default=2.0,
+                        help="combined-stderr multiplier for the gate (default 2)")
+    parser.add_argument("--rel-threshold", type=float, default=0.10,
+                        help="relative threshold when no stderr is recorded (default 0.10)")
+    parser.add_argument("--metrics", nargs="+", default=["throughput", "item_rate"],
+                        help="series metrics to gate (default: throughput item_rate)")
+    parser.add_argument("--gate-model", action="store_true",
+                        help="treat [model] drift as a regression too")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report but always exit 0 (cross-host CI comparisons)")
+    args = parser.parse_args()
+
+    old_doc, new_doc = load(args.old), load(args.new)
+    if old_doc.get("figure") != new_doc.get("figure"):
+        print(f"bench_diff: comparing different figures: "
+              f"{old_doc.get('figure')} vs {new_doc.get('figure')}", file=sys.stderr)
+
+    regressions, improvements, notes = compare(old_doc, new_doc, args)
+
+    print(f"bench_diff: {args.old} -> {args.new} "
+          f"(figure {new_doc.get('figure')}, metrics: {', '.join(args.metrics)})")
+    for note in notes:
+        print(f"  note: {note}")
+    for line in improvements:
+        print(f"  IMPROVED: {line}")
+    for line in regressions:
+        print(f"  REGRESSED: {line}")
+    if not regressions and not improvements:
+        print("  no significant changes")
+
+    if regressions and not args.warn_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

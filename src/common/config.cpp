@@ -13,6 +13,10 @@ std::uint64_t parse_u64(const std::string& value) {
 }
 }  // namespace
 
+const char* to_string(QueueImpl impl) {
+  return impl == QueueImpl::kMutex ? "mutex" : "ring";
+}
+
 void Config::apply_overrides(const std::map<std::string, std::string>& overrides) {
   for (const auto& [key, value] : overrides) {
     if (key == "n") {
@@ -34,6 +38,16 @@ void Config::apply_overrides(const std::map<std::string, std::string>& overrides
       request_payload_bytes = parse_u64(value);
     } else if (key == "reply_payload_bytes") {
       reply_payload_bytes = parse_u64(value);
+    } else if (key == "queue_impl") {
+      if (value == "mutex") {
+        queue_impl = QueueImpl::kMutex;
+      } else if (value == "ring") {
+        queue_impl = QueueImpl::kRing;
+      } else {
+        throw std::invalid_argument("queue_impl must be mutex or ring, got: " + value);
+      }
+    } else if (key == "queue_spin_budget") {
+      queue_spin_budget = static_cast<std::uint32_t>(parse_u64(value));
     } else {
       throw std::invalid_argument("unknown config key: " + key);
     }

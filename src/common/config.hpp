@@ -15,6 +15,17 @@ namespace mcsmr {
 
 using ReplicaId = std::uint32_t;
 
+/// Implementation of the hot pipeline hand-offs (Batcher->Protocol
+/// ProposalQueue and the ServiceManager->ClientIO reply path):
+///   kMutex — instrumented BoundedBlockingQueue (the paper's design;
+///            also the legacy direct reply hand-off in the ClientIo
+///            backends), kept as the A/B baseline;
+///   kRing  — lock-free rings with spin-then-park waiting
+///            (PipelineQueue over SpscRing; see common/wait_strategy.hpp).
+enum class QueueImpl { kMutex, kRing };
+
+const char* to_string(QueueImpl impl);
+
 struct Config {
   // --- Cluster ---
   int n = 3;  ///< number of replicas; tolerates f = (n-1)/2 crashes
@@ -34,6 +45,11 @@ struct Config {
   std::size_t decision_queue_cap = 2048;
   std::size_t send_queue_cap = 8192;
   std::size_t reply_queue_cap = 8192;
+
+  // --- Hot-path queue implementation (§V-E; bench_ablation_queues) ---
+  QueueImpl queue_impl = QueueImpl::kRing;  ///< ProposalQueue + reply path
+  /// Spin iterations before a ring-backed queue parks (see WaitStrategy).
+  std::uint32_t queue_spin_budget = 256;
 
   // --- Failure detection (§V-C3) ---
   std::uint64_t fd_heartbeat_interval_ns = 50'000'000;   ///< leader heartbeat: 50 ms
@@ -71,7 +87,8 @@ struct Config {
   /// Parse `key=value` overrides (unknown keys throw std::invalid_argument).
   /// Accepted keys: n, window_size (wnd), batch_max_bytes (bsz),
   /// batch_timeout_ms, client_io_threads, request_queue_cap,
-  /// proposal_queue_cap, request_payload_bytes, reply_payload_bytes.
+  /// proposal_queue_cap, request_payload_bytes, reply_payload_bytes,
+  /// queue_impl (mutex|ring), queue_spin_budget.
   void apply_overrides(const std::map<std::string, std::string>& overrides);
 
   /// Parse overrides from argv-style "key=value" tokens.

@@ -14,9 +14,17 @@
 #include <memory>
 
 #include "common/bytes.hpp"
+#include "common/clock.hpp"
 #include "smr/client_proto.hpp"
 
 namespace mcsmr::smr {
+
+/// Ring reply path: how long send_reply may wait on a full per-IO-thread
+/// reply ring before dropping the reply (counted in
+/// SharedState::dropped_replies; the client retry is served from the
+/// reply cache). Bounding the wait keeps the ServiceManager out of the
+/// pipeline's backpressure cycle.
+inline constexpr std::uint64_t kReplyPushBudgetNs = 50 * kMillis;
 
 class ClientIo {
  public:

@@ -13,6 +13,7 @@
 
 #include <variant>
 
+#include "common/config.hpp"
 #include "common/queue.hpp"
 #include "paxos/messages.hpp"
 
@@ -61,9 +62,19 @@ using DecisionEvent = std::variant<Decision, SnapshotInstallEvent>;
 // --- Queue aliases ------------------------------------------------------------
 
 using RequestQueue = BoundedBlockingQueue<paxos::Request>;
-using ProposalQueue = BoundedBlockingQueue<Bytes>;
+/// Batcher -> Protocol: the hottest hand-off. Backend selected per
+/// Config::queue_impl (single batcher producer, single protocol consumer,
+/// so the ring variant is SPSC).
+using ProposalQueue = PipelineQueue<Bytes>;
 using DispatcherQueue = BoundedBlockingQueue<DispatchEvent>;
 using DecisionQueue = BoundedBlockingQueue<DecisionEvent>;
 using SendQueue = BoundedBlockingQueue<Bytes>;  // encoded frames, one per peer
+
+/// Map the config knob to a PipelineQueue backend for one edge.
+/// `fan_in`: more than one producer (or consumer) thread touches the edge.
+inline QueueBackend backend_for(QueueImpl impl, bool fan_in) {
+  if (impl == QueueImpl::kMutex) return QueueBackend::kMutex;
+  return fan_in ? QueueBackend::kMpmc : QueueBackend::kSpsc;
+}
 
 }  // namespace mcsmr::smr

@@ -9,7 +9,8 @@ Replica::Replica(const Config& config, ReplicaId self,
                  std::unique_ptr<PeerTransport> transport, std::unique_ptr<Service> service)
     : config_(config), self_(self), shared_(config.n),
       request_queue_(config.request_queue_cap, "RequestQueue"),
-      proposal_queue_(config.proposal_queue_cap, "ProposalQueue"),
+      proposal_queue_(backend_for(config.queue_impl, /*fan_in=*/false),
+                      config.proposal_queue_cap, "ProposalQueue", config.queue_spin_budget),
       dispatcher_queue_(config.dispatcher_queue_cap, "DispatcherQueue"),
       decision_queue_(config.decision_queue_cap, "DecisionQueue"),
       transport_(std::move(transport)), service_(std::move(service)),

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -64,7 +65,10 @@ class KvService : public Service {
   Bytes snapshot() const override;
   void install(const Bytes& state) override;
 
-  std::size_t size() const { return map_.size(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return map_.size();
+  }
 
   // Client-side encoders.
   static Bytes make_put(const std::string& key, const Bytes& value);
@@ -75,6 +79,10 @@ class KvService : public Service {
   static std::optional<Bytes> parse_reply(const Bytes& reply);
 
  private:
+  // execute() is single-threaded (ServiceManager), but tests and benches
+  // observe snapshot()/size() from other threads while the cluster runs;
+  // the guard makes those probes race-free (TSan job runs chaos_test).
+  mutable std::mutex mu_;
   std::map<std::string, Bytes> map_;
 };
 

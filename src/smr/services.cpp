@@ -31,6 +31,7 @@ Bytes kv_reply(std::uint8_t status, const Bytes& result) {
 }  // namespace
 
 Bytes KvService::execute(const Bytes& request) {
+  std::lock_guard<std::mutex> guard(mu_);
   try {
     ByteReader reader(request);
     const auto op = static_cast<Op>(reader.u8());
@@ -75,6 +76,7 @@ Bytes KvService::execute(const Bytes& request) {
 }
 
 Bytes KvService::snapshot() const {
+  std::lock_guard<std::mutex> guard(mu_);
   ByteWriter writer;
   writer.u64(map_.size());
   for (const auto& [key, value] : map_) {
@@ -85,6 +87,7 @@ Bytes KvService::snapshot() const {
 }
 
 void KvService::install(const Bytes& state) {
+  std::lock_guard<std::mutex> guard(mu_);
   map_.clear();
   ByteReader reader(state);
   const std::uint64_t count = reader.u64();

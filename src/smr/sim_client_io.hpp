@@ -3,10 +3,17 @@
 // moral equivalent of the paper's round-robin: uniform and sticky).
 //
 // The reply path preserves the paper's structure: the ServiceManager does
-// NOT write to the network itself — it injects a reply directive into the
-// owning IO thread's inbox (SimNet inject bypasses the NIC model, it is a
-// local queue hand-off), and that IO thread serializes and performs the
-// network send.
+// NOT write to the network itself — it hands each reply to the IO thread
+// owning the client's "connection", and that thread serializes and
+// performs the network send. Two implementations, selected by
+// Config::queue_impl:
+//   kMutex — legacy: each reply is injected as a directive into the IO
+//            thread's SimNet inbox (a mutex-queue hand-off per reply);
+//   kRing  — each IO thread owns an SPSC reply ring (single ServiceManager
+//            producer); the ServiceManager pushes frames lock-free and
+//            injects one empty wake message per burst (edge-triggered via
+//            an atomic flag), so a batch of B replies costs B ring ops +
+//            1 inbox hand-off instead of B inbox hand-offs.
 #pragma once
 
 #include <vector>
@@ -32,12 +39,15 @@ class SimClientIo : public ClientIo {
 
   /// The inbox channel a client with this id must send to.
   net::Channel channel_for_client(paxos::ClientId client) const {
-    return kClientIoChannelBase +
-           static_cast<net::Channel>(client % static_cast<std::uint64_t>(io_threads_));
+    return kClientIoChannelBase + static_cast<net::Channel>(thread_for_client(client));
   }
 
  private:
+  int thread_for_client(paxos::ClientId client) const {
+    return static_cast<int>(client % static_cast<std::uint64_t>(io_threads_));
+  }
   void io_loop(int thread_index);
+  void drain_replies(int thread_index);
 
   const Config& config_;
   net::SimNetwork& net_;
@@ -45,9 +55,18 @@ class SimClientIo : public ClientIo {
   RequestGate gate_;
   SharedState& shared_;
   const int io_threads_;
+  const bool ring_replies_;
 
   /// client -> SimNet node to answer to (learned from request frames).
   ClientRegistry<net::NodeId> reply_nodes_;
+
+  // Ring reply path (queue_impl == kRing): one SPSC queue + wake flag per
+  // IO thread. wake_pending_[t] true means a wake message is already in
+  // flight (or the IO thread has not yet drained), so pushes skip the
+  // inject; the IO thread clears the flag BEFORE draining, which makes
+  // the push-then-exchange order on the producer side lose no replies.
+  std::vector<std::unique_ptr<PipelineQueue<ClientReplyFrame>>> reply_queues_;
+  std::unique_ptr<std::atomic<bool>[]> wake_pending_;
 
   std::vector<metrics::NamedThread> threads_;
   bool started_ = false;

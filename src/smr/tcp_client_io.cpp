@@ -13,12 +13,25 @@ namespace mcsmr::smr {
 
 TcpClientIo::TcpClientIo(const Config& config, std::uint16_t port, RequestQueue& requests,
                          ReplyCache& reply_cache, SharedState& shared)
-    : config_(config), gate_(config, requests, reply_cache, shared),
-      io_threads_(config.client_io_threads < 1 ? 1 : config.client_io_threads) {
+    : config_(config), gate_(config, requests, reply_cache, shared), shared_(shared),
+      io_threads_(config.client_io_threads < 1 ? 1 : config.client_io_threads),
+      ring_replies_(config.queue_impl == QueueImpl::kRing),
+      wake_pending_(std::make_unique<std::atomic<bool>[]>(
+          static_cast<std::size_t>(io_threads_))) {
   listener_ = net::TcpListener::bind(port);
   loops_.reserve(static_cast<std::size_t>(io_threads_));
   conns_.resize(static_cast<std::size_t>(io_threads_));
-  for (int t = 0; t < io_threads_; ++t) loops_.push_back(std::make_unique<net::EventLoop>());
+  for (int t = 0; t < io_threads_; ++t) {
+    loops_.push_back(std::make_unique<net::EventLoop>());
+    if (ring_replies_) {
+      // SPSC: the ServiceManager thread is the only producer, loop thread
+      // t the only consumer.
+      reply_queues_.push_back(std::make_unique<PipelineQueue<PendingReply>>(
+          QueueBackend::kSpsc, config.reply_queue_cap,
+          "ReplyQueue-" + std::to_string(t), config.queue_spin_budget));
+    }
+    wake_pending_[static_cast<std::size_t>(t)].store(false, std::memory_order_relaxed);
+  }
 }
 
 TcpClientIo::~TcpClientIo() { stop(); }
@@ -36,6 +49,9 @@ void TcpClientIo::start() {
 
 void TcpClientIo::stop() {
   if (!started_) return;
+  // Close the reply queues first so a ServiceManager blocked on a full
+  // ring unwedges (its push fails) before the loops go away.
+  for (auto& queue : reply_queues_) queue->close();
   listener_->close();
   accept_thread_.join();
   for (auto& loop : loops_) loop->stop();
@@ -168,6 +184,13 @@ void TcpClientIo::close_connection(int thread_index, int fd) {
   table.erase(it);  // TcpStream destructor closes the fd
 }
 
+void TcpClientIo::drain_replies(int thread_index) {
+  auto& queue = *reply_queues_[static_cast<std::size_t>(thread_index)];
+  while (auto reply = queue.try_pop()) {
+    enqueue_frame(thread_index, reply->fd, std::move(reply->frame));
+  }
+}
+
 void TcpClientIo::send_reply(paxos::ClientId client, paxos::RequestSeq seq,
                              ReplyStatus status, const Bytes& payload) {
   auto ref = clients_.get(client);
@@ -175,7 +198,36 @@ void TcpClientIo::send_reply(paxos::ClientId client, paxos::RequestSeq seq,
   Bytes frame = encode_client_reply(ClientReplyFrame{client, seq, status, payload});
   const int thread_index = ref->thread;
   const int fd = ref->fd;
-  // Hand the reply to the owning IO thread; it serializes and writes.
+
+  if (ring_replies_) {
+    auto& queue = *reply_queues_[static_cast<std::size_t>(thread_index)];
+    // Bounded wait + counted drop rather than an unbounded block: see
+    // SimClientIo::send_reply for the deadlock cycle this avoids.
+    if (!queue.push_for(PendingReply{fd, std::move(frame)}, kReplyPushBudgetNs)) {
+      shared_.dropped_replies.fetch_add(1, std::memory_order_relaxed);
+      return;  // ring full for the whole budget, or shutting down
+    }
+    auto& pending = wake_pending_[static_cast<std::size_t>(thread_index)];
+    // Fence pairing with the drain task (clear-fence-drain), same protocol
+    // as SimClientIo::send_reply: either the drain sees this push, or the
+    // exchange reads false and a fresh drain task is posted.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (!pending.exchange(true, std::memory_order_seq_cst)) {
+      shared_.reply_wakeups.fetch_add(1, std::memory_order_relaxed);
+      loops_[static_cast<std::size_t>(thread_index)]->post([this, thread_index] {
+        // Clear the flag BEFORE popping: replies pushed after the clear
+        // get a fresh drain task, replies pushed before are caught here.
+        wake_pending_[static_cast<std::size_t>(thread_index)].store(
+            false, std::memory_order_seq_cst);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        drain_replies(thread_index);
+      });
+    }
+    return;
+  }
+
+  // Legacy (kMutex) path: one post per reply; the owning IO thread
+  // serializes and writes.
   loops_[static_cast<std::size_t>(thread_index)]->post(
       [this, thread_index, fd, frame = std::move(frame)]() mutable {
         enqueue_frame(thread_index, fd, std::move(frame));

@@ -236,6 +236,45 @@ TEST(MpmcRing, BasicFifo) {
   EXPECT_FALSE(ring.try_pop().has_value());
 }
 
+TEST(SpscRing, WrapAroundAtSmallCapacity) {
+  // Capacity 2 (the minimum): indices wrap every two ops; exercise many
+  // thousand wraps to catch masking bugs.
+  SpscRing<int> ring(2);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(ring.try_push(i));
+    ASSERT_TRUE(ring.try_push(i + 100000));
+    ASSERT_FALSE(ring.try_push(0));  // full
+    ASSERT_EQ(ring.try_pop().value(), i);
+    ASSERT_EQ(ring.try_pop().value(), i + 100000);
+    ASSERT_FALSE(ring.try_pop().has_value());
+  }
+}
+
+TEST(SpscRing, FailedPushDoesNotConsumeItem) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(1)));
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(2)));
+  auto third = std::make_unique<int>(3);
+  ASSERT_FALSE(ring.try_push(third));
+  ASSERT_NE(third, nullptr) << "failed push must leave the item intact";
+  EXPECT_EQ(*third, 3);
+  ring.try_pop();
+  ASSERT_TRUE(ring.try_push(third));  // same object, retried after space
+  ASSERT_EQ(third, nullptr);
+}
+
+TEST(MpmcRing, FailedPushDoesNotConsumeItem) {
+  MpmcRing<std::unique_ptr<int>> ring(2);
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(1)));
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(2)));
+  auto third = std::make_unique<int>(3);
+  ASSERT_FALSE(ring.try_push(third));
+  ASSERT_NE(third, nullptr) << "failed push must leave the item intact";
+  ring.try_pop();
+  ASSERT_TRUE(ring.try_push(third));
+  ASSERT_EQ(third, nullptr);
+}
+
 TEST(MpmcRing, MultiThreadNoLoss) {
   constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 20000;
   MpmcRing<std::uint64_t> ring(256);
@@ -246,8 +285,8 @@ TEST(MpmcRing, MultiThreadNoLoss) {
   for (int p = 0; p < kProducers; ++p) {
     threads.emplace_back([&, p] {
       for (int i = 0; i < kPerProducer; ++i) {
-        const std::uint64_t v = static_cast<std::uint64_t>(p) * kPerProducer +
-                                static_cast<std::uint64_t>(i) + 1;
+        std::uint64_t v = static_cast<std::uint64_t>(p) * kPerProducer +
+                          static_cast<std::uint64_t>(i) + 1;
         while (!ring.try_push(v)) std::this_thread::yield();
       }
     });
@@ -273,6 +312,159 @@ TEST(MpmcRing, MultiThreadNoLoss) {
   }
   EXPECT_EQ(sum.load(), expected);
 }
+
+// --- PipelineQueue: every backend must satisfy the BoundedBlockingQueue
+// contract (the pipeline edges swap backends via the queue_impl knob and
+// rely on identical push/pop/close/backpressure semantics).
+
+class PipelineQueueTest : public ::testing::TestWithParam<QueueBackend> {
+ protected:
+  template <typename T>
+  PipelineQueue<T> make(std::size_t cap, const std::string& name = "q") {
+    return PipelineQueue<T>(GetParam(), cap, name);
+  }
+};
+
+TEST_P(PipelineQueueTest, FifoOrder) {
+  auto queue = make<int>(16);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(queue.push(i));
+  for (int i = 0; i < 10; ++i) {
+    auto v = queue.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST_P(PipelineQueueTest, LogicalCapacityEnforced) {
+  // Cap 3 is not a power of two: the ring backends must bound at 3, not
+  // at their physical 4 slots.
+  auto queue = make<int>(3);
+  EXPECT_EQ(queue.capacity(), 3u);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_TRUE(queue.try_push(3));
+  EXPECT_FALSE(queue.try_push(4));
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.try_pop().value(), 1);
+  EXPECT_TRUE(queue.try_push(4));
+}
+
+TEST_P(PipelineQueueTest, CloseDrainsThenEnds) {
+  auto queue = make<int>(8);
+  queue.push(1);
+  queue.push(2);
+  queue.close();
+  EXPECT_FALSE(queue.push(3));
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_EQ(queue.pop().value(), 2);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST_P(PipelineQueueTest, CloseWakesBlockedConsumer) {
+  auto queue = make<int>(8);
+  std::thread consumer([&] {
+    auto v = queue.pop();
+    EXPECT_FALSE(v.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  consumer.join();
+}
+
+TEST_P(PipelineQueueTest, CloseWakesBlockedProducer) {
+  auto queue = make<int>(1);
+  queue.push(1);
+  std::thread producer([&] {
+    EXPECT_FALSE(queue.push(2));  // blocks on full, then fails at close
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  producer.join();
+}
+
+TEST_P(PipelineQueueTest, PushForTimesOutWhenFull) {
+  auto queue = make<int>(1);
+  queue.push(1);
+  const auto t0 = mono_ns();
+  EXPECT_FALSE(queue.push_for(2, 20 * kMillis));
+  EXPECT_GE(mono_ns() - t0, 15 * kMillis);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST_P(PipelineQueueTest, PushForSucceedsWhenSpaceAppears) {
+  auto queue = make<int>(1);
+  queue.push(1);
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(queue.pop().value(), 1);
+  });
+  EXPECT_TRUE(queue.push_for(2, 2 * kSeconds));
+  consumer.join();
+  EXPECT_EQ(queue.pop().value(), 2);
+}
+
+TEST_P(PipelineQueueTest, PopForTimesOut) {
+  auto queue = make<int>(4);
+  const auto t0 = mono_ns();
+  auto v = queue.pop_for(20 * kMillis);
+  EXPECT_FALSE(v.has_value());
+  EXPECT_GE(mono_ns() - t0, 15 * kMillis);
+}
+
+TEST_P(PipelineQueueTest, PopForReturnsValueBeforeTimeout) {
+  auto queue = make<int>(4);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.push(7);
+  });
+  auto v = queue.pop_for(2 * kSeconds);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+  producer.join();
+}
+
+TEST_P(PipelineQueueTest, PopAllDrainsEverything) {
+  auto queue = make<int>(16);
+  for (int i = 0; i < 5; ++i) queue.push(i);
+  std::vector<int> out;
+  EXPECT_EQ(queue.pop_all(out), 5u);
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST_P(PipelineQueueTest, BackpressureBlocksProducerUntilConsumed) {
+  auto queue = make<int>(2);
+  queue.push(1);
+  queue.push(2);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    queue.push(3);
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(queue.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  queue.close();
+}
+
+TEST_P(PipelineQueueTest, MoveOnlyPayload) {
+  auto queue = make<std::unique_ptr<int>>(4);
+  queue.push(std::make_unique<int>(42));
+  auto v = queue.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 42);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PipelineQueueTest,
+                         ::testing::Values(QueueBackend::kMutex, QueueBackend::kSpsc,
+                                           QueueBackend::kMpmc),
+                         [](const ::testing::TestParamInfo<QueueBackend>& param_info) {
+                           return std::string(to_string(param_info.param));
+                         });
 
 }  // namespace
 }  // namespace mcsmr

@@ -2,9 +2,11 @@
 // pools and blocking peer sockets, TcpClient callers.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <thread>
 
 #include "common/clock.hpp"
+#include "sim_cluster.hpp"
 #include "smr/client.hpp"
 #include "smr/replica.hpp"
 
@@ -12,8 +14,11 @@ namespace mcsmr::smr {
 namespace {
 
 struct TcpCluster {
+  // MCSMR_QUEUE_IMPL (see sim_cluster.hpp) selects the hot-path queue
+  // implementation, so the CTest matrix covers the legacy reply path
+  // over real sockets too.
   explicit TcpCluster(Config config, std::uint16_t peer_base_port)
-      : config_(config) {
+      : config_(testing::apply_queue_impl_env(config)) {
     std::vector<std::thread> builders;
     replicas_.resize(static_cast<std::size_t>(config.n));
     for (int id = 0; id < config.n; ++id) {

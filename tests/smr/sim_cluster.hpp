@@ -1,7 +1,13 @@
 // Integration-test fixture: a full SimNet cluster of real threaded
 // replicas plus helper accessors.
+//
+// The MCSMR_QUEUE_IMPL environment variable ("mutex" or "ring") overrides
+// Config::queue_impl for every cluster built here; tests/CMakeLists.txt
+// registers the replica_sim and chaos binaries a second time with it set,
+// so tier-1 exercises both hot-path queue implementations.
 #pragma once
 
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -12,6 +18,14 @@
 #include "smr/replica.hpp"
 
 namespace mcsmr::smr::testing {
+
+/// Apply the MCSMR_QUEUE_IMPL override (if set) to a cluster config.
+inline Config apply_queue_impl_env(Config config) {
+  if (const char* impl = std::getenv("MCSMR_QUEUE_IMPL")) {
+    config.apply_overrides({{"queue_impl", impl}});
+  }
+  return config;
+}
 
 inline net::SimNetParams fast_net() {
   net::SimNetParams params;
@@ -27,7 +41,7 @@ class SimCluster {
 
   explicit SimCluster(Config config, net::SimNetParams net_params = fast_net(),
                       ServiceFactory factory = [] { return std::make_unique<NullService>(); })
-      : config_(config), net_(net_params) {
+      : config_(apply_queue_impl_env(config)), net_(net_params) {
     for (int id = 0; id < config_.n; ++id) {
       nodes_.push_back(net_.add_node("replica-" + std::to_string(id)));
     }
