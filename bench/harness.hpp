@@ -216,6 +216,15 @@ inline RealRunResult run_real(RealRunParams params, const BenchArgs& args) {
   if (!args.queue_impl.empty()) {
     params.config.apply_overrides({{"queue_impl", args.queue_impl}});
   }
+  // --executor serial|parallel and --workers N: the ServiceManager
+  // execution-strategy knob (bench_ablation_executor A/Bs the two).
+  if (!args.executor_impl.empty()) {
+    params.config.apply_overrides({{"executor_impl", args.executor_impl}});
+  }
+  if (args.executor_workers > 0) {
+    params.config.apply_overrides(
+        {{"executor_workers", std::to_string(args.executor_workers)}});
+  }
   std::vector<RealRunResult> runs;
   runs.reserve(static_cast<std::size_t>(args.repeat));
   for (int rep = 0; rep < args.repeat; ++rep) {

@@ -162,6 +162,8 @@ namespace {
       "  --smoke         short measurement windows + thinned sweeps\n"
       "  --seed S        base SimNet RNG seed (recorded in env{})\n"
       "  --queue IMPL    hot-path queue implementation: mutex or ring\n"
+      "  --executor IMPL execution strategy: serial or parallel\n"
+      "  --workers N     parallel-executor worker threads\n"
       "  --help          this message\n"
       "\n"
       "Unrecognized flags are passed through to the driver (e.g. --calibrate,\n"
@@ -233,6 +235,20 @@ BenchArgs BenchArgs::parse(int& argc, char** argv, std::string figure) {
       args.queue_impl = queue_v;
       if (args.queue_impl != "mutex" && args.queue_impl != "ring") {
         std::fprintf(stderr, "error: --queue wants mutex or ring, got '%s'\n", queue_v);
+        std::exit(2);
+      }
+    } else if (const char* executor_v = flag_value("--executor", argc, argv, i)) {
+      args.executor_impl = executor_v;
+      if (args.executor_impl != "serial" && args.executor_impl != "parallel") {
+        std::fprintf(stderr, "error: --executor wants serial or parallel, got '%s'\n",
+                     executor_v);
+        std::exit(2);
+      }
+    } else if (const char* workers_v = flag_value("--workers", argc, argv, i)) {
+      args.executor_workers = std::atoi(workers_v);
+      if (args.executor_workers < 1) {
+        std::fprintf(stderr, "error: --workers wants a positive integer, got '%s'\n",
+                     workers_v);
         std::exit(2);
       }
     } else {
@@ -349,10 +365,15 @@ BenchReport::BenchReport(const BenchArgs& args, std::string title)
   env("repeat", static_cast<std::int64_t>(args_.repeat));
   env("smoke", args_.smoke);
   env("budget_pps", args_.budget_pps);  // 0 = driver default
-  // Recorded only when --queue was passed explicitly: the flag pins
-  // Config::queue_impl in the run_real harness; gbench ablation drivers
-  // measure both backends regardless and must not claim otherwise.
+  // Recorded only when --queue/--executor/--workers was passed
+  // explicitly: the flags pin Config fields in the run_real harness;
+  // ablation drivers measure several settings regardless and must not
+  // claim otherwise.
   if (!args_.queue_impl.empty()) env("queue_impl", args_.queue_impl);
+  if (!args_.executor_impl.empty()) env("executor_impl", args_.executor_impl);
+  if (args_.executor_workers > 0) {
+    env("executor_workers", static_cast<std::int64_t>(args_.executor_workers));
+  }
 }
 
 BenchSeries& BenchReport::series(const std::string& name, const std::string& kind,

@@ -7,7 +7,7 @@
 // in docs/BENCH_SCHEMA.md, so figure trajectories can be tracked across
 // PRs (the console tables the drivers always printed are unchanged).
 //
-// The shared `BenchArgs` parser gives all 20 drivers the same flags:
+// The shared `BenchArgs` parser gives all drivers the same flags:
 //   --json          emit BENCH_<figure>.json (console output is unchanged)
 //   --out PATH      output file (*.json) or directory (implies --json)
 //   --repeat N      repeat each [real] measurement N times (mean ± stderr)
@@ -16,6 +16,9 @@
 //   --seed S        base RNG seed for SimNet (recorded in env{})
 //   --queue IMPL    hot-path queue implementation: mutex or ring
 //                   (Config::queue_impl; the before/after A-B knob)
+//   --executor IMPL execution strategy: serial or parallel
+//                   (Config::executor_impl; bench_ablation_executor A-Bs)
+//   --workers N     parallel-executor worker threads (Config::executor_workers)
 // Unrecognized flags are left in argv for driver-specific handling
 // (e.g. --calibrate, --benchmark_* for the ablation drivers).
 #pragma once
@@ -86,6 +89,8 @@ struct BenchArgs {
   bool smoke = false;       ///< short windows + thinned sweeps
   std::uint64_t seed = 1;   ///< base SimNet RNG seed, recorded in env{}
   std::string queue_impl;   ///< "" = config default, else "mutex"/"ring"
+  std::string executor_impl;  ///< "" = config default, else "serial"/"parallel"
+  int executor_workers = 0;   ///< 0 = config default
   std::string argv_line;    ///< the original command line, recorded in env{}
   std::vector<std::string> passthrough;  ///< flags left for the driver
 

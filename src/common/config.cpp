@@ -17,6 +17,10 @@ const char* to_string(QueueImpl impl) {
   return impl == QueueImpl::kMutex ? "mutex" : "ring";
 }
 
+const char* to_string(ExecutorImpl impl) {
+  return impl == ExecutorImpl::kSerial ? "serial" : "parallel";
+}
+
 void Config::apply_overrides(const std::map<std::string, std::string>& overrides) {
   for (const auto& [key, value] : overrides) {
     if (key == "n") {
@@ -48,6 +52,17 @@ void Config::apply_overrides(const std::map<std::string, std::string>& overrides
       }
     } else if (key == "queue_spin_budget") {
       queue_spin_budget = static_cast<std::uint32_t>(parse_u64(value));
+    } else if (key == "executor_impl") {
+      if (value == "serial") {
+        executor_impl = ExecutorImpl::kSerial;
+      } else if (value == "parallel") {
+        executor_impl = ExecutorImpl::kParallel;
+      } else {
+        throw std::invalid_argument("executor_impl must be serial or parallel, got: " + value);
+      }
+    } else if (key == "executor_workers") {
+      executor_workers = parse_u64(value);
+      if (executor_workers < 1) throw std::invalid_argument("executor_workers must be >= 1");
     } else {
       throw std::invalid_argument("unknown config key: " + key);
     }

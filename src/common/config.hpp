@@ -26,6 +26,18 @@ enum class QueueImpl { kMutex, kRing };
 
 const char* to_string(QueueImpl impl);
 
+/// Execution strategy of the ServiceManager (§V-D):
+///   kSerial   — the paper's design: the Replica thread applies decided
+///               batches one request at a time (baseline, default);
+///   kParallel — dependency-aware parallel execution: a key-hash
+///               scheduler dispatches non-conflicting requests (per
+///               Service::classify) to executor_workers threads while
+///               serializing conflicting ones in decided order
+///               (Marandi/Alchieri-style; see smr/executor.hpp).
+enum class ExecutorImpl { kSerial, kParallel };
+
+const char* to_string(ExecutorImpl impl);
+
 struct Config {
   // --- Cluster ---
   int n = 3;  ///< number of replicas; tolerates f = (n-1)/2 crashes
@@ -66,6 +78,10 @@ struct Config {
   std::uint64_t admitted_ttl_ns = 2'000'000'000;  ///< in-flight dedup window
   /// Take a service snapshot every N decided instances (0 = disabled).
   std::uint64_t snapshot_interval_instances = 0;
+  /// Execution strategy (serial = paper baseline; see ExecutorImpl).
+  ExecutorImpl executor_impl = ExecutorImpl::kSerial;
+  /// Worker threads of the parallel executor (ignored when serial).
+  std::size_t executor_workers = 2;
 
   // --- Workload shape (used by clients/benches; paper §VI) ---
   std::size_t request_payload_bytes = 128;
@@ -88,7 +104,8 @@ struct Config {
   /// Accepted keys: n, window_size (wnd), batch_max_bytes (bsz),
   /// batch_timeout_ms, client_io_threads, request_queue_cap,
   /// proposal_queue_cap, request_payload_bytes, reply_payload_bytes,
-  /// queue_impl (mutex|ring), queue_spin_budget.
+  /// queue_impl (mutex|ring), queue_spin_budget,
+  /// executor_impl (serial|parallel), executor_workers.
   void apply_overrides(const std::map<std::string, std::string>& overrides);
 
   /// Parse overrides from argv-style "key=value" tokens.

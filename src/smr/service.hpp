@@ -1,21 +1,49 @@
 // The deterministic service replicated by the state machine (§III-A).
 //
-// execute() is called by exactly one thread (the ServiceManager / "Replica"
-// thread) in decided-instance order on every replica, so implementations
-// need no internal locking — determinism is the only contract.
-// snapshot()/install() support state transfer to lagging replicas.
+// With the serial executor (the paper's design), execute() is called by
+// exactly one thread (the ServiceManager / "Replica" thread) in
+// decided-instance order on every replica. With the parallel executor
+// (executor_impl=parallel) non-conflicting requests — as declared by
+// classify() — may execute concurrently on worker threads, so execute()
+// must be internally thread-safe; the scheduler guarantees that requests
+// whose classifications conflict never overlap and always run in decided
+// order, which keeps the externally observable state machine
+// deterministic. snapshot()/install() support state transfer to lagging
+// replicas and are only invoked at quiesce points (no execute() in
+// flight), but tests and benches probe them cross-thread, hence the
+// internal guards.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 
 namespace mcsmr::smr {
+
+/// Conflict classification of one request (Marandi/Alchieri-style
+/// dependency tracking). Two requests CONFLICT — and must execute in
+/// decided order — iff
+///   * either is `global` (touches state the keys cannot name), or
+///   * they share a key and at least one of them is not read_only.
+/// Key hashes only ever group requests for scheduling: a hash collision
+/// over-serializes (safe), never under-serializes, so any deterministic
+/// per-process hash works.
+struct RequestClass {
+  std::vector<std::uint64_t> keys;  ///< hashes of the state keys touched
+  bool read_only = false;           ///< does not mutate any named key
+  bool global = true;               ///< conflicts with everything (safe default)
+
+  static RequestClass conflict_free() { return {{}, false, false}; }
+  static RequestClass read(std::uint64_t key) { return {{key}, true, false}; }
+  static RequestClass write(std::uint64_t key) { return {{key}, false, false}; }
+};
 
 class Service {
  public:
@@ -23,6 +51,14 @@ class Service {
 
   /// Apply one request; the returned bytes are sent to the client.
   virtual Bytes execute(const Bytes& request) = 0;
+
+  /// Classify a request for the dependency-aware parallel executor. Must
+  /// be a pure function of the request bytes (it runs on the scheduler
+  /// thread, possibly concurrently with execute() on workers). The
+  /// default declares every request global, which degrades the parallel
+  /// executor to serial order — always safe for services that do not
+  /// opt in.
+  virtual RequestClass classify(const Bytes& /*request*/) const { return RequestClass{}; }
 
   /// Serialize the full service state.
   virtual Bytes snapshot() const = 0;
@@ -37,16 +73,21 @@ class NullService : public Service {
  public:
   explicit NullService(std::size_t reply_bytes = 8) : reply_(reply_bytes, 0) {}
   Bytes execute(const Bytes& /*request*/) override {
-    ++executed_;
+    // Atomic: conflict-free requests execute concurrently under the
+    // parallel executor, and tests/benches probe executed() cross-thread.
+    executed_.fetch_add(1, std::memory_order_relaxed);
     return reply_;
+  }
+  RequestClass classify(const Bytes& /*request*/) const override {
+    return RequestClass::conflict_free();
   }
   Bytes snapshot() const override;
   void install(const Bytes& state) override;
-  std::uint64_t executed() const { return executed_; }
+  std::uint64_t executed() const { return executed_.load(std::memory_order_relaxed); }
 
  private:
   Bytes reply_;
-  std::uint64_t executed_ = 0;
+  std::atomic<std::uint64_t> executed_{0};
 };
 
 /// A coordination-service-style key-value store.
@@ -62,6 +103,9 @@ class KvService : public Service {
   enum class Op : std::uint8_t { kPut = 1, kGet = 2, kDel = 3, kCas = 4 };
 
   Bytes execute(const Bytes& request) override;
+  /// GET is a read on its key; PUT/DEL/CAS are writes; malformed requests
+  /// are global (they cannot name the state they touch).
+  RequestClass classify(const Bytes& request) const override;
   Bytes snapshot() const override;
   void install(const Bytes& state) override;
 
@@ -79,9 +123,10 @@ class KvService : public Service {
   static std::optional<Bytes> parse_reply(const Bytes& reply);
 
  private:
-  // execute() is single-threaded (ServiceManager), but tests and benches
-  // observe snapshot()/size() from other threads while the cluster runs;
-  // the guard makes those probes race-free (TSan job runs chaos_test).
+  // execute() calls may overlap under the parallel executor (the scheduler
+  // only serializes same-key writes), and tests/benches observe
+  // snapshot()/size() from other threads while the cluster runs; the
+  // guard makes both race-free (TSan job covers it).
   mutable std::mutex mu_;
   std::map<std::string, Bytes> map_;
 };
@@ -99,10 +144,18 @@ class LockService : public Service {
   enum class Op : std::uint8_t { kAcquire = 1, kRelease = 2, kCheck = 3 };
 
   Bytes execute(const Bytes& request) override;
+  /// CHECK is a read on the lock name; RELEASE writes it. ACQUIRE writes
+  /// the name AND a shared fencing-counter key: two ACQUIREs — even on
+  /// different locks — must run in decided order or replicas would hand
+  /// out diverging fencing tokens. Malformed requests are global.
+  RequestClass classify(const Bytes& request) const override;
   Bytes snapshot() const override;
   void install(const Bytes& state) override;
 
-  std::size_t held_locks() const { return locks_.size(); }
+  std::size_t held_locks() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return locks_.size();
+  }
 
   static Bytes make_acquire(const std::string& name, std::uint64_t owner);
   static Bytes make_release(const std::string& name, std::uint64_t owner);
@@ -126,6 +179,10 @@ class LockService : public Service {
     std::uint64_t owner = 0;
     std::uint64_t fencing_token = 0;
   };
+  // Same contract as KvService::mu_: overlapping execute() calls under the
+  // parallel executor plus cross-thread held_locks()/snapshot() probes
+  // from tests and benches.
+  mutable std::mutex mu_;
   std::map<std::string, Lock> locks_;
   std::uint64_t next_fencing_token_ = 1;
 };

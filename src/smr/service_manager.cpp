@@ -1,5 +1,7 @@
 #include "smr/service_manager.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 
 namespace mcsmr::smr {
@@ -8,20 +10,29 @@ ServiceManager::ServiceManager(const Config& config, DecisionQueue& decisions,
                                Service& service, ReplyCache& reply_cache, ClientIo& client_io,
                                DispatcherQueue& dispatcher, SharedState& shared)
     : config_(config), decisions_(decisions), service_(service), reply_cache_(reply_cache),
-      client_io_(client_io), dispatcher_(dispatcher), shared_(shared) {}
+      client_io_(client_io), dispatcher_(dispatcher), shared_(shared) {
+  if (config_.executor_impl == ExecutorImpl::kParallel) {
+    executor_ = std::make_unique<ParallelExecutor>(config_, service_);
+  }
+}
 
 ServiceManager::~ServiceManager() { stop(); }
 
 void ServiceManager::start() {
   if (started_) return;
   started_ = true;
+  if (executor_) executor_->start();
   // The paper labels this thread "Replica" in its per-thread figures.
   thread_ = metrics::NamedThread(config_.thread_name_prefix + "Replica", [this] { run(); });
 }
 
 void ServiceManager::stop() {
-  // run() exits when the DecisionQueue closes (Replica::stop closes it).
+  if (!started_) return;  // never started: nothing to join or unwind
+  // run() exits when the DecisionQueue closes (Replica::stop closes it);
+  // join it first so no execute_batch is in flight when the executor's
+  // worker pool shuts down.
   thread_.join();
+  if (executor_) executor_->stop();
   started_ = false;
 }
 
@@ -48,10 +59,23 @@ void ServiceManager::execute_batch(paxos::InstanceId instance, const Bytes& batc
   try {
     requests = paxos::decode_batch(batch);
   } catch (const DecodeError& error) {
-    LOG_ERROR << "undecodable batch at instance " << instance << ": " << error.what();
+    LOG_ERROR << "undecodable batch at instance " << instance << ": " << error.what()
+              << "; skipping its requests but counting the instance";
+    // The instance WAS consumed from the decided sequence: count it so
+    // executed_instances_ stays in step with snapshot next_instance.
+    executed_instances_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  for (auto& request : requests) {
+  if (executor_) {
+    execute_parallel(requests);
+  } else {
+    execute_serial(requests);
+  }
+  executed_instances_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceManager::execute_serial(const std::vector<paxos::Request>& requests) {
+  for (const auto& request : requests) {
     // Double-decide dedup: a retried request can legitimately be ordered
     // twice across a view change; execute only the first occurrence.
     if (reply_cache_.executed(request.client_id, request.seq)) continue;
@@ -60,13 +84,47 @@ void ServiceManager::execute_batch(paxos::InstanceId instance, const Bytes& batc
     shared_.executed_requests.fetch_add(1, std::memory_order_relaxed);
     client_io_.send_reply(request.client_id, request.seq, ReplyStatus::kOk, reply);
   }
-  executed_instances_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceManager::execute_parallel(const std::vector<paxos::Request>& requests) {
+  // Dedup BEFORE dispatch: against the reply cache (double-decides across
+  // view changes) and within the batch (the serial path catches an
+  // intra-batch duplicate via its per-request cache check; here the cache
+  // is only updated after the batch executes, so check explicitly).
+  std::vector<const paxos::Request*> todo;
+  todo.reserve(requests.size());
+  for (const auto& request : requests) {
+    if (reply_cache_.executed(request.client_id, request.seq)) continue;
+    // Match the serial path's semantics exactly: the cache marks any
+    // seq <= the last executed one as done, so a stale lower seq decided
+    // after a newer one in the SAME batch must be skipped too.
+    const bool duplicate_in_batch =
+        std::any_of(todo.begin(), todo.end(), [&](const paxos::Request* seen) {
+          return seen->client_id == request.client_id && seen->seq >= request.seq;
+        });
+    if (duplicate_in_batch) continue;
+    todo.push_back(&request);
+  }
+  if (todo.empty()) return;
+
+  std::vector<Bytes> replies;
+  executor_->execute(todo, replies);  // returns quiesced: every reply filled
+
+  // Decided order, on this thread: reply-cache updates stay ordered and
+  // the per-ClientIO reply rings keep their single producer.
+  for (std::size_t i = 0; i < todo.size(); ++i) {
+    reply_cache_.update(todo[i]->client_id, todo[i]->seq, replies[i]);
+    shared_.executed_requests.fetch_add(1, std::memory_order_relaxed);
+    client_io_.send_reply(todo[i]->client_id, todo[i]->seq, ReplyStatus::kOk, replies[i]);
+  }
 }
 
 void ServiceManager::maybe_snapshot(paxos::InstanceId instance) {
   if (config_.snapshot_interval_instances == 0) return;
   if ((instance + 1) % config_.snapshot_interval_instances != 0) return;
 
+  // Batch-boundary quiesce point: execute_batch has returned, so no
+  // execute() is in flight on any executor worker.
   auto snapshot = std::make_shared<paxos::SnapshotData>();
   snapshot->next_instance = instance + 1;
   snapshot->state = service_.snapshot();

@@ -1,14 +1,28 @@
 // ServiceManager module (§V-D) — the paper's "Replica" thread.
 //
-// Single thread consuming the DecisionQueue: extracts requests from each
-// decided batch in final order, executes them on the Service, updates the
-// striped reply cache, and hands each reply to the ClientIO thread that
-// owns the client's connection. Also produces periodic snapshots (used for
-// state transfer to lagging peers) and installs received ones.
+// Consumes the DecisionQueue: extracts requests from each decided batch in
+// final order, executes them on the Service, updates the striped reply
+// cache, and hands each reply to the ClientIO thread that owns the
+// client's connection. Also produces periodic snapshots (used for state
+// transfer to lagging peers) and installs received ones.
+//
+// Execution strategy (Config::executor_impl):
+//   serial   — the paper's baseline: requests applied inline, one at a
+//              time, on this thread;
+//   parallel — dependency-aware parallel execution: a ParallelExecutor
+//              (smr/executor.hpp) dispatches non-conflicting requests to
+//              worker threads and quiesces per wave, preserving decided
+//              order between conflicting requests. Replies and reply-
+//              cache updates still happen on this thread, in decided
+//              order, so the per-ClientIO reply rings keep their single
+//              producer, and snapshots are taken only between batches
+//              (quiesced — no execute() in flight).
 //
 // Exactly-once: a request already recorded as executed (its seq <= the
 // client's cached seq) is skipped — this absorbs the rare double-decide of
-// a retried request across a view change.
+// a retried request across a view change. The parallel path additionally
+// dedups within the batch before dispatch (the serial path gets this for
+// free from its per-request cache check).
 #pragma once
 
 #include <memory>
@@ -18,6 +32,7 @@
 #include "paxos/engine.hpp"
 #include "smr/client_io.hpp"
 #include "smr/events.hpp"
+#include "smr/executor.hpp"
 #include "smr/reply_cache.hpp"
 #include "smr/service.hpp"
 #include "smr/shared_state.hpp"
@@ -42,9 +57,14 @@ class ServiceManager {
     return executed_instances_.load(std::memory_order_relaxed);
   }
 
+  /// The parallel executor, if one is configured (benches/tests).
+  const ParallelExecutor* executor() const { return executor_.get(); }
+
  private:
   void run();
   void execute_batch(paxos::InstanceId instance, const Bytes& batch);
+  void execute_serial(const std::vector<paxos::Request>& requests);
+  void execute_parallel(const std::vector<paxos::Request>& requests);
   void maybe_snapshot(paxos::InstanceId instance);
 
   const Config& config_;
@@ -54,6 +74,8 @@ class ServiceManager {
   ClientIo& client_io_;
   DispatcherQueue& dispatcher_;
   SharedState& shared_;
+
+  std::unique_ptr<ParallelExecutor> executor_;  ///< null when serial
 
   std::atomic<std::uint64_t> executed_instances_{0};
 

@@ -1,21 +1,28 @@
+#include <functional>
 #include <optional>
 
 #include "smr/service.hpp"
 
 namespace mcsmr::smr {
 
+namespace {
+/// Key-hash for classify(): any deterministic per-process hash works
+/// (collisions over-serialize, never under-serialize).
+std::uint64_t key_hash(const std::string& key) { return std::hash<std::string>{}(key); }
+}  // namespace
+
 // --- NullService -------------------------------------------------------------
 
 Bytes NullService::snapshot() const {
   ByteWriter writer(16);
-  writer.u64(executed_);
+  writer.u64(executed_.load(std::memory_order_relaxed));
   writer.u64(reply_.size());
   return writer.take();
 }
 
 void NullService::install(const Bytes& state) {
   ByteReader reader(state);
-  executed_ = reader.u64();
+  executed_.store(reader.u64(), std::memory_order_relaxed);
   reply_.assign(reader.u64(), 0);
 }
 
@@ -73,6 +80,22 @@ Bytes KvService::execute(const Bytes& request) {
   } catch (const DecodeError&) {
     return kv_reply(1, {});
   }
+}
+
+RequestClass KvService::classify(const Bytes& request) const {
+  try {
+    ByteReader reader(request);
+    const auto op = static_cast<Op>(reader.u8());
+    const std::string key = reader.str();
+    switch (op) {
+      case Op::kGet: return RequestClass::read(key_hash(key));
+      case Op::kPut:
+      case Op::kDel:
+      case Op::kCas: return RequestClass::write(key_hash(key));
+    }
+  } catch (const DecodeError&) {
+  }
+  return RequestClass{};  // malformed / unknown op: serialize (global)
 }
 
 Bytes KvService::snapshot() const {
@@ -137,6 +160,7 @@ std::optional<Bytes> KvService::parse_reply(const Bytes& reply) {
 // --- LockService --------------------------------------------------------------
 
 Bytes LockService::execute(const Bytes& request) {
+  std::lock_guard<std::mutex> guard(mu_);
   ByteWriter writer(17);
   try {
     ByteReader reader(request);
@@ -191,7 +215,29 @@ Bytes LockService::execute(const Bytes& request) {
   return writer.take();
 }
 
+RequestClass LockService::classify(const Bytes& request) const {
+  // All ACQUIREs share this pseudo-key: granting consumes the fencing
+  // counter, so acquire order must match decided order on every replica.
+  // The leading NUL (explicit length — the char* ctor would truncate)
+  // keeps the sentinel out of the space of client-suppliable lock names.
+  static const std::uint64_t kFencingCounterKey =
+      key_hash(std::string("\0LockService.fencing", 20));
+  try {
+    ByteReader reader(request);
+    const auto op = static_cast<Op>(reader.u8());
+    const std::string name = reader.str();
+    switch (op) {
+      case Op::kCheck: return RequestClass::read(key_hash(name));
+      case Op::kRelease: return RequestClass::write(key_hash(name));
+      case Op::kAcquire: return {{key_hash(name), kFencingCounterKey}, false, false};
+    }
+  } catch (const DecodeError&) {
+  }
+  return RequestClass{};  // malformed / unknown op: serialize (global)
+}
+
 Bytes LockService::snapshot() const {
+  std::lock_guard<std::mutex> guard(mu_);
   ByteWriter writer;
   writer.u64(next_fencing_token_);
   writer.u64(locks_.size());
@@ -204,6 +250,7 @@ Bytes LockService::snapshot() const {
 }
 
 void LockService::install(const Bytes& state) {
+  std::lock_guard<std::mutex> guard(mu_);
   locks_.clear();
   ByteReader reader(state);
   next_fencing_token_ = reader.u64();

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 namespace mcsmr::smr {
 namespace {
 
@@ -156,6 +159,42 @@ TEST(LockService, SnapshotPreservesTokensAndOwners) {
   auto regrant = LockService::parse_acquire_reply(
       fresh.execute(LockService::make_acquire("C", 3)));
   EXPECT_GT(regrant.fencing_token, check.fencing_token);
+}
+
+TEST(NullService, ConcurrentExecuteCountsEveryRequest) {
+  // Conflict-free requests run concurrently under the parallel executor;
+  // the counter must not lose increments (it used to be a plain u64).
+  NullService service;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) service.execute({});
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(service.executed(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(LockService, HeldLocksProbeIsThreadSafe) {
+  // Tests/benches probe held_locks() while the cluster executes; the
+  // probe must be race-free against execute() (TSan job covers this).
+  LockService locks;
+  std::atomic<bool> stop{false};
+  std::size_t observed = 0;
+  std::thread prober([&] {
+    while (!stop.load(std::memory_order_relaxed)) observed += locks.held_locks();
+  });
+  for (int i = 0; i < 2000; ++i) {
+    const std::string name = "L" + std::to_string(i % 8);
+    locks.execute(LockService::make_acquire(name, 1));
+    locks.execute(LockService::make_release(name, 1));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  prober.join();
+  EXPECT_EQ(locks.held_locks(), 0u);
+  (void)observed;
 }
 
 }  // namespace

@@ -1,10 +1,11 @@
 // Integration-test fixture: a full SimNet cluster of real threaded
 // replicas plus helper accessors.
 //
-// The MCSMR_QUEUE_IMPL environment variable ("mutex" or "ring") overrides
-// Config::queue_impl for every cluster built here; tests/CMakeLists.txt
-// registers the replica_sim and chaos binaries a second time with it set,
-// so tier-1 exercises both hot-path queue implementations.
+// Two environment variables parameterize every cluster built here, and
+// tests/CMakeLists.txt registers the replica_sim and chaos binaries extra
+// times with them set, so tier-1 exercises the full matrix:
+//   MCSMR_QUEUE_IMPL    ("mutex" | "ring")      -> Config::queue_impl
+//   MCSMR_EXECUTOR_IMPL ("serial" | "parallel") -> Config::executor_impl
 #pragma once
 
 #include <cstdlib>
@@ -19,10 +20,13 @@
 
 namespace mcsmr::smr::testing {
 
-/// Apply the MCSMR_QUEUE_IMPL override (if set) to a cluster config.
+/// Apply the MCSMR_QUEUE_IMPL / MCSMR_EXECUTOR_IMPL overrides (if set).
 inline Config apply_queue_impl_env(Config config) {
   if (const char* impl = std::getenv("MCSMR_QUEUE_IMPL")) {
     config.apply_overrides({{"queue_impl", impl}});
+  }
+  if (const char* impl = std::getenv("MCSMR_EXECUTOR_IMPL")) {
+    config.apply_overrides({{"executor_impl", impl}});
   }
   return config;
 }
