@@ -38,6 +38,13 @@ struct RealRunParams {
   std::uint64_t measure_ns = 2 * kSeconds;
   bool baseline = false;  ///< run the ZooKeeper-like replica instead
   baseline::ZkParams zk_params;
+  /// Replicated service, one instance per partition (default NullService —
+  /// the paper's benchmark service).
+  smr::Replica::ServiceFactory service_factory;
+  /// What the swarm sends (kKv needs service_factory = KvService).
+  smr::ClientSwarm::Workload workload = smr::ClientSwarm::Workload::kNull;
+  int kv_keys = 1024;
+  int kv_conflict_pct = 0;
 };
 
 struct QueueAverages {
@@ -85,6 +92,10 @@ inline RealRunResult run_real(const RealRunParams& params) {
 
   result.idle_rtt_ns = static_cast<double>(network.ping_rtt_ns(other1, nodes[0]));
 
+  smr::Replica::ServiceFactory factory = params.service_factory;
+  if (!factory) {
+    factory = [] { return std::make_unique<smr::NullService>(); };
+  }
   std::vector<std::unique_ptr<smr::Replica>> replicas;
   std::vector<std::unique_ptr<baseline::ZkReplica>> zk_replicas;
   for (int id = 0; id < config.n; ++id) {
@@ -92,12 +103,11 @@ inline RealRunResult run_real(const RealRunParams& params) {
     per_replica.thread_name_prefix = "r" + std::to_string(id) + "/";
     if (params.baseline) {
       zk_replicas.push_back(baseline::ZkReplica::create_sim(
-          per_replica, static_cast<ReplicaId>(id), network, nodes,
-          std::make_unique<smr::NullService>(), params.zk_params));
+          per_replica, static_cast<ReplicaId>(id), network, nodes, factory(),
+          params.zk_params));
     } else {
       replicas.push_back(smr::Replica::create_sim(per_replica, static_cast<ReplicaId>(id),
-                                                  network, nodes,
-                                                  std::make_unique<smr::NullService>()));
+                                                  network, nodes, factory));
     }
   }
   for (auto& replica : replicas) replica->start();
@@ -109,6 +119,9 @@ inline RealRunResult run_real(const RealRunParams& params) {
   swarm_params.payload_bytes = config.request_payload_bytes;
   swarm_params.io_threads = config.client_io_threads;
   swarm_params.retry_timeout_ns = params.swarm_retry_timeout_ns;
+  swarm_params.workload = params.workload;
+  swarm_params.kv_keys = params.kv_keys;
+  swarm_params.kv_conflict_pct = params.kv_conflict_pct;
   smr::ClientSwarm swarm(network, nodes, swarm_params);
 
   metrics::GaugeSampler sampler(20 * kMillis);
@@ -225,6 +238,21 @@ inline RealRunResult run_real(RealRunParams params, const BenchArgs& args) {
     params.config.apply_overrides(
         {{"executor_workers", std::to_string(args.executor_workers)}});
   }
+  // --partitions N: shard the replica into N pipelines behind the router
+  // (bench_ablation_partitions sweeps it; every driver accepts it).
+  if (args.partitions > 0) {
+    params.config.apply_overrides({{"num_partitions", std::to_string(args.partitions)}});
+  }
+  // --workload kv [--keys N --conflict P]: keyed swarm traffic through a
+  // KvService so the executor and the partitions see real conflicts.
+  if (args.workload == "kv") {
+    params.workload = smr::ClientSwarm::Workload::kKv;
+    if (!params.service_factory) {
+      params.service_factory = [] { return std::make_unique<smr::KvService>(); };
+    }
+  }
+  if (args.kv_keys > 0) params.kv_keys = args.kv_keys;
+  if (args.kv_conflict_pct >= 0) params.kv_conflict_pct = args.kv_conflict_pct;
   std::vector<RealRunResult> runs;
   runs.reserve(static_cast<std::size_t>(args.repeat));
   for (int rep = 0; rep < args.repeat; ++rep) {

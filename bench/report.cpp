@@ -164,6 +164,10 @@ namespace {
       "  --queue IMPL    hot-path queue implementation: mutex or ring\n"
       "  --executor IMPL execution strategy: serial or parallel\n"
       "  --workers N     parallel-executor worker threads\n"
+      "  --partitions N  partitioned SMR pipelines (Config::num_partitions)\n"
+      "  --workload W    swarm workload: null or kv (keyed PUT traffic)\n"
+      "  --keys N        kv workload key-space size\n"
+      "  --conflict P    kv workload %% of requests hitting one hot key\n"
       "  --help          this message\n"
       "\n"
       "Unrecognized flags are passed through to the driver (e.g. --calibrate,\n"
@@ -249,6 +253,32 @@ BenchArgs BenchArgs::parse(int& argc, char** argv, std::string figure) {
       if (args.executor_workers < 1) {
         std::fprintf(stderr, "error: --workers wants a positive integer, got '%s'\n",
                      workers_v);
+        std::exit(2);
+      }
+    } else if (const char* partitions_v = flag_value("--partitions", argc, argv, i)) {
+      args.partitions = std::atoi(partitions_v);
+      if (args.partitions < 1) {
+        std::fprintf(stderr, "error: --partitions wants a positive integer, got '%s'\n",
+                     partitions_v);
+        std::exit(2);
+      }
+    } else if (const char* workload_v = flag_value("--workload", argc, argv, i)) {
+      args.workload = workload_v;
+      if (args.workload != "null" && args.workload != "kv") {
+        std::fprintf(stderr, "error: --workload wants null or kv, got '%s'\n", workload_v);
+        std::exit(2);
+      }
+    } else if (const char* keys_v = flag_value("--keys", argc, argv, i)) {
+      args.kv_keys = std::atoi(keys_v);
+      if (args.kv_keys < 1) {
+        std::fprintf(stderr, "error: --keys wants a positive integer, got '%s'\n", keys_v);
+        std::exit(2);
+      }
+    } else if (const char* conflict_v = flag_value("--conflict", argc, argv, i)) {
+      args.kv_conflict_pct = std::atoi(conflict_v);
+      if (args.kv_conflict_pct < 0 || args.kv_conflict_pct > 100) {
+        std::fprintf(stderr, "error: --conflict wants a percentage in [0, 100], got '%s'\n",
+                     conflict_v);
         std::exit(2);
       }
     } else {
@@ -373,6 +403,12 @@ BenchReport::BenchReport(const BenchArgs& args, std::string title)
   if (!args_.executor_impl.empty()) env("executor_impl", args_.executor_impl);
   if (args_.executor_workers > 0) {
     env("executor_workers", static_cast<std::int64_t>(args_.executor_workers));
+  }
+  if (args_.partitions > 0) env("partitions", static_cast<std::int64_t>(args_.partitions));
+  if (!args_.workload.empty()) env("workload", args_.workload);
+  if (args_.kv_keys > 0) env("kv_keys", static_cast<std::int64_t>(args_.kv_keys));
+  if (args_.kv_conflict_pct >= 0) {
+    env("kv_conflict_pct", static_cast<std::int64_t>(args_.kv_conflict_pct));
   }
 }
 

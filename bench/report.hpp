@@ -19,6 +19,11 @@
 //   --executor IMPL execution strategy: serial or parallel
 //                   (Config::executor_impl; bench_ablation_executor A-Bs)
 //   --workers N     parallel-executor worker threads (Config::executor_workers)
+//   --partitions N  partitioned SMR pipelines (Config::num_partitions;
+//                   bench_ablation_partitions sweeps it)
+//   --workload W    swarm workload: null (paper default) or kv
+//   --keys N        kv workload key-space size
+//   --conflict P    kv workload hot-key percentage [0, 100]
 // Unrecognized flags are left in argv for driver-specific handling
 // (e.g. --calibrate, --benchmark_* for the ablation drivers).
 #pragma once
@@ -91,6 +96,10 @@ struct BenchArgs {
   std::string queue_impl;   ///< "" = config default, else "mutex"/"ring"
   std::string executor_impl;  ///< "" = config default, else "serial"/"parallel"
   int executor_workers = 0;   ///< 0 = config default
+  int partitions = 0;         ///< 0 = config default (Config::num_partitions)
+  std::string workload;       ///< "" = driver default, else "null"/"kv"
+  int kv_keys = 0;            ///< 0 = default key space (kv workload)
+  int kv_conflict_pct = -1;   ///< -1 = default (kv workload hot-key share)
   std::string argv_line;    ///< the original command line, recorded in env{}
   std::vector<std::string> passthrough;  ///< flags left for the driver
 

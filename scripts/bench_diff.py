@@ -1,8 +1,13 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_*.json files and flag throughput regressions.
+"""Compare BENCH_*.json snapshots and flag throughput regressions.
 
 Usage:
   scripts/bench_diff.py OLD.json NEW.json [options]
+  scripts/bench_diff.py OLD_DIR/  NEW_DIR/ [options]
+
+Directory mode diffs every BENCH_*.json present in BOTH directories
+(matched by filename) and prints one suite-level regression table —
+that is what the bench-smoke CI job runs over the baselines directory.
 
 Matches series by name and points by (x, label), then compares every
 series whose metric is in --metrics (default: throughput, item_rate).
@@ -29,6 +34,7 @@ Exit status: 0 = no regressions, 1 = regressions found (0 with
 import argparse
 import json
 import math
+import os
 import sys
 
 
@@ -114,11 +120,68 @@ def compare(old_doc, new_doc, args):
     return regressions, improvements, notes
 
 
+def diff_pair(old_path, new_path, args):
+    """Diff one (old, new) file pair; prints details, returns the counts."""
+    old_doc, new_doc = load(old_path), load(new_path)
+    if old_doc.get("figure") != new_doc.get("figure"):
+        print(f"bench_diff: comparing different figures: "
+              f"{old_doc.get('figure')} vs {new_doc.get('figure')}", file=sys.stderr)
+
+    regressions, improvements, notes = compare(old_doc, new_doc, args)
+
+    print(f"bench_diff: {old_path} -> {new_path} "
+          f"(figure {new_doc.get('figure')}, metrics: {', '.join(args.metrics)})")
+    for note in notes:
+        print(f"  note: {note}")
+    for line in improvements:
+        print(f"  IMPROVED: {line}")
+    for line in regressions:
+        print(f"  REGRESSED: {line}")
+    if not regressions and not improvements:
+        print("  no significant changes")
+    return len(regressions), len(improvements)
+
+
+def diff_directories(old_dir, new_dir, args):
+    """Diff every BENCH_*.json matched by filename; suite-level summary."""
+    old_files = {f for f in os.listdir(old_dir)
+                 if f.startswith("BENCH_") and f.endswith(".json")}
+    new_files = {f for f in os.listdir(new_dir)
+                 if f.startswith("BENCH_") and f.endswith(".json")}
+    if not old_files:
+        sys.exit(f"bench_diff: no BENCH_*.json under {old_dir}")
+    rows = []
+    for name in sorted(old_files - new_files):
+        rows.append((name, None, None))
+    for name in sorted(old_files & new_files):
+        regressions, improvements = diff_pair(
+            os.path.join(old_dir, name), os.path.join(new_dir, name), args)
+        rows.append((name, regressions, improvements))
+        print()
+
+    print("suite summary:")
+    print(f"  {'figure file':44s} {'regressed':>9s} {'improved':>9s}")
+    total_regressions = 0
+    for name, regressions, improvements in rows:
+        if regressions is None:
+            # A baseline with no fresh counterpart gates too: a driver that
+            # silently stopped emitting its file is a regression, not noise.
+            total_regressions += 1
+            print(f"  {name:44s} {'MISSING in ' + new_dir:>19s}")
+            continue
+        total_regressions += regressions
+        print(f"  {name:44s} {regressions:9d} {improvements:9d}")
+    for name in sorted(new_files - old_files):
+        print(f"  {name:44s} {'new (no baseline)':>19s}")
+    return total_regressions
+
+
 def main():
     parser = argparse.ArgumentParser(
-        description="Flag throughput regressions between two BENCH_*.json files.")
-    parser.add_argument("old", help="baseline BENCH_*.json")
-    parser.add_argument("new", help="candidate BENCH_*.json")
+        description="Flag throughput regressions between BENCH_*.json files "
+                    "or whole snapshot directories.")
+    parser.add_argument("old", help="baseline BENCH_*.json or directory")
+    parser.add_argument("new", help="candidate BENCH_*.json or directory")
     parser.add_argument("--sigma", type=float, default=2.0,
                         help="combined-stderr multiplier for the gate (default 2)")
     parser.add_argument("--rel-threshold", type=float, default=0.10,
@@ -131,23 +194,12 @@ def main():
                         help="report but always exit 0 (cross-host CI comparisons)")
     args = parser.parse_args()
 
-    old_doc, new_doc = load(args.old), load(args.new)
-    if old_doc.get("figure") != new_doc.get("figure"):
-        print(f"bench_diff: comparing different figures: "
-              f"{old_doc.get('figure')} vs {new_doc.get('figure')}", file=sys.stderr)
-
-    regressions, improvements, notes = compare(old_doc, new_doc, args)
-
-    print(f"bench_diff: {args.old} -> {args.new} "
-          f"(figure {new_doc.get('figure')}, metrics: {', '.join(args.metrics)})")
-    for note in notes:
-        print(f"  note: {note}")
-    for line in improvements:
-        print(f"  IMPROVED: {line}")
-    for line in regressions:
-        print(f"  REGRESSED: {line}")
-    if not regressions and not improvements:
-        print("  no significant changes")
+    if os.path.isdir(args.old) != os.path.isdir(args.new):
+        sys.exit("bench_diff: OLD and NEW must both be files or both be directories")
+    if os.path.isdir(args.old):
+        regressions = diff_directories(args.old, args.new, args)
+    else:
+        regressions, _ = diff_pair(args.old, args.new, args)
 
     if regressions and not args.warn_only:
         return 1

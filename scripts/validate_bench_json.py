@@ -93,6 +93,23 @@ def check_env(env, errors):
         errors.append("env: 'repeat' must be a positive integer")
     if "smoke" in env and not isinstance(env["smoke"], bool):
         errors.append("env: 'smoke' must be a boolean")
+    # Pipeline-shape flags are optional (recorded only when passed) but
+    # must be well-typed when present, so bench_all.sh-forwarded runs are
+    # attributable.
+    for key in ("executor_workers", "partitions", "kv_keys"):
+        if key in env and (not isinstance(env[key], int) or env[key] < 1):
+            errors.append(f"env: '{key}' must be a positive integer")
+    if "kv_conflict_pct" in env and (
+        not isinstance(env["kv_conflict_pct"], int)
+        or not 0 <= env["kv_conflict_pct"] <= 100
+    ):
+        errors.append("env: 'kv_conflict_pct' must be an integer in [0, 100]")
+    if "queue_impl" in env and env["queue_impl"] not in ("mutex", "ring"):
+        errors.append("env: 'queue_impl' must be 'mutex' or 'ring'")
+    if "executor_impl" in env and env["executor_impl"] not in ("serial", "parallel"):
+        errors.append("env: 'executor_impl' must be 'serial' or 'parallel'")
+    if "workload" in env and env["workload"] not in ("null", "kv"):
+        errors.append("env: 'workload' must be 'null' or 'kv'")
 
 
 def validate(path):

@@ -63,6 +63,11 @@ void Config::apply_overrides(const std::map<std::string, std::string>& overrides
     } else if (key == "executor_workers") {
       executor_workers = parse_u64(value);
       if (executor_workers < 1) throw std::invalid_argument("executor_workers must be >= 1");
+    } else if (key == "num_partitions" || key == "partitions") {
+      num_partitions = static_cast<std::uint32_t>(parse_u64(value));
+      if (num_partitions < 1 || num_partitions > 64) {
+        throw std::invalid_argument("num_partitions must be in [1, 64]");
+      }
     } else {
       throw std::invalid_argument("unknown config key: " + key);
     }

@@ -50,6 +50,19 @@ struct Config {
   // --- Threading architecture (Fig 3) ---
   int client_io_threads = 3;  ///< paper: optimal usually 3..6 (§V-A fn.2)
 
+  // --- Partitioned pipelines (compartmentalization, Whittaker et al.) ---
+  /// Number of independent SMR pipelines (Batcher -> Protocol -> Service
+  /// Manager chains, each with its own Paxos instance space) the replica
+  /// runs side by side. 1 = the paper's single-pipeline replica (default;
+  /// behavior-identical to the pre-partitioning code). Requests are routed
+  /// by Service::classify() key hash; multi-partition/global requests run
+  /// through the cross-partition barrier (see smr/partition.hpp).
+  std::uint32_t num_partitions = 1;
+  /// How long partitions may disagree about the leader before the failure
+  /// detector forces the stragglers to re-elect (cross-partition requests
+  /// need all pipelines led by the same replica to make progress).
+  std::uint64_t partition_align_timeout_ns = 400'000'000;
+
   // --- Queue bounds (flow control by backpressure, §V-E) ---
   std::size_t request_queue_cap = 1000;  ///< paper Table I: max 1000
   std::size_t proposal_queue_cap = 20;   ///< paper Table I: max 20
@@ -105,7 +118,8 @@ struct Config {
   /// batch_timeout_ms, client_io_threads, request_queue_cap,
   /// proposal_queue_cap, request_payload_bytes, reply_payload_bytes,
   /// queue_impl (mutex|ring), queue_spin_budget,
-  /// executor_impl (serial|parallel), executor_workers.
+  /// executor_impl (serial|parallel), executor_workers,
+  /// num_partitions (alias: partitions).
   void apply_overrides(const std::map<std::string, std::string>& overrides);
 
   /// Parse overrides from argv-style "key=value" tokens.

@@ -131,6 +131,12 @@ void SimNetwork::close_inbox(NodeId node, Channel channel) {
   inbox(node, channel)->close();
 }
 
+void SimNetwork::reset_inbox(NodeId node, Channel channel) {
+  std::lock_guard<std::mutex> guard(inbox_mu_);
+  inboxes_[{node, channel}] =
+      std::make_shared<Inbox>(params_.inbox_capacity, "simnet-inbox");
+}
+
 bool SimNetwork::inject(NodeId node, Channel channel, SimMessage message) {
   return inbox(node, channel)->push(std::move(message));
 }

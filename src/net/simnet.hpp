@@ -100,6 +100,13 @@ class SimNetwork {
   /// Close one inbox, waking blocked receivers (used at module shutdown).
   void close_inbox(NodeId node, Channel channel);
 
+  /// Replace a (possibly closed) inbox with a fresh empty one, so a
+  /// crashed node can be restarted in place (close() is permanent on the
+  /// underlying queue). Messages still queued are dropped — they died
+  /// with the "process". Callers must ensure no thread of the old
+  /// incarnation still receives on the channel.
+  void reset_inbox(NodeId node, Channel channel);
+
   /// Local hand-off: place a message directly in (node, channel)'s inbox
   /// without traversing the NIC model. This is how a same-process module
   /// (e.g. the ServiceManager) posts work to a ClientIO thread's message

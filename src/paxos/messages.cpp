@@ -102,6 +102,10 @@ Bytes encode_message(ReplicaId from, const Message& message) {
 }
 
 WireMessage decode_message(const Bytes& frame) {
+  return decode_message(std::span<const std::uint8_t>(frame.data(), frame.size()));
+}
+
+WireMessage decode_message(std::span<const std::uint8_t> frame) {
   ByteReader reader(frame);
   WireMessage wire;
   wire.from = reader.u32();

@@ -19,6 +19,7 @@
 // the transport. decode() rejects malformed input with DecodeError.
 #pragma once
 
+#include <span>
 #include <variant>
 #include <vector>
 
@@ -101,6 +102,8 @@ struct WireMessage {
 };
 /// Throws DecodeError on malformed/unknown input.
 WireMessage decode_message(const Bytes& frame);
+/// Span variant for callers that strip an outer header (partition tags).
+WireMessage decode_message(std::span<const std::uint8_t> frame);
 
 /// Human-readable tag for logging/debugging.
 const char* message_name(const Message& message);

@@ -56,8 +56,12 @@ struct SnapshotInstallEvent {
   Bytes state;
   Bytes reply_cache;
 };
+/// Partitioned mode only: a sibling partition requested a cross-partition
+/// rendezvous (snapshot capture/install); wake an idle ServiceManager so
+/// it arrives at the barrier. Carries no data — the barrier holds the work.
+struct BarrierNudgeEvent {};
 
-using DecisionEvent = std::variant<Decision, SnapshotInstallEvent>;
+using DecisionEvent = std::variant<Decision, SnapshotInstallEvent, BarrierNudgeEvent>;
 
 // --- Queue aliases ------------------------------------------------------------
 

@@ -6,8 +6,14 @@ namespace mcsmr::smr {
 
 FailureDetector::FailureDetector(const Config& config, ReplicaId self, ReplicaIo& replica_io,
                                  DispatcherQueue& dispatcher, SharedState& shared)
-    : config_(config), self_(self), replica_io_(replica_io), dispatcher_(dispatcher),
-      shared_(shared) {}
+    : FailureDetector(config, self, replica_io,
+                      std::vector<PartitionFeed>{PartitionFeed{&dispatcher, &shared}}) {}
+
+FailureDetector::FailureDetector(const Config& config, ReplicaId self, ReplicaIo& replica_io,
+                                 std::vector<PartitionFeed> feeds)
+    : config_(config), self_(self), replica_io_(replica_io), feeds_(std::move(feeds)),
+      last_suspected_view_(feeds_.size(), UINT64_MAX),
+      misaligned_since_ns_(feeds_.size(), 0) {}
 
 FailureDetector::~FailureDetector() { stop(); }
 
@@ -18,8 +24,8 @@ void FailureDetector::start() {
   // Grace period: nobody is suspected before traffic has had a chance.
   const std::uint64_t now = mono_ns();
   for (int peer = 0; peer < config_.n; ++peer) {
-    shared_.last_recv_ns[static_cast<std::size_t>(peer)].store(now,
-                                                               std::memory_order_relaxed);
+    liveness().last_recv_ns[static_cast<std::size_t>(peer)].store(
+        now, std::memory_order_relaxed);
   }
   thread_ = metrics::NamedThread(config_.thread_name_prefix + "FailureDetector", [this] { run(); });
 }
@@ -48,22 +54,28 @@ void FailureDetector::run() {
 }
 
 void FailureDetector::tick(std::uint64_t now) {
-  const std::uint64_t view = shared_.view.load(std::memory_order_relaxed);
-  const bool is_leader = shared_.is_leader.load(std::memory_order_relaxed);
+  const bool heartbeat_due = now - last_heartbeat_ns_ >= config_.fd_heartbeat_interval_ns;
+  if (heartbeat_due) last_heartbeat_ns_ = now;
 
-  if (is_leader) {
-    if (now - last_heartbeat_ns_ >= config_.fd_heartbeat_interval_ns) {
-      last_heartbeat_ns_ = now;
-      // Built from published atomics; slight staleness is harmless since
-      // both fields are monotonic.
-      replica_io_.broadcast(paxos::Heartbeat{
-          view, shared_.first_undecided.load(std::memory_order_relaxed)});
-    }
-  } else {
+  const std::uint64_t view0 = feeds_[0].shared->view.load(std::memory_order_relaxed);
+  const ReplicaId leader0 = config_.leader_of_view(view0);
+
+  for (std::size_t p = 0; p < feeds_.size(); ++p) {
+    SharedState& shared = *feeds_[p].shared;
+    const std::uint64_t view = shared.view.load(std::memory_order_relaxed);
+    const bool is_leader = shared.is_leader.load(std::memory_order_relaxed);
     const auto leader = config_.leader_of_view(view);
-    if (leader != self_) {
-      const std::uint64_t last =
-          shared_.last_recv_ns[leader].load(std::memory_order_relaxed);
+
+    if (is_leader) {
+      if (heartbeat_due) {
+        // Built from published atomics; slight staleness is harmless since
+        // both fields are monotonic.
+        replica_io_.broadcast(
+            paxos::Heartbeat{view, shared.first_undecided.load(std::memory_order_relaxed)},
+            static_cast<std::uint32_t>(p));
+      }
+    } else if (leader != self_) {
+      const std::uint64_t last = liveness().last_recv_ns[leader].load(std::memory_order_relaxed);
       // Stagger by rank distance so the next replica in line suspects
       // first and usually wins the election without dueling candidates.
       const std::uint64_t rank =
@@ -72,16 +84,37 @@ void FailureDetector::tick(std::uint64_t now) {
           static_cast<std::uint64_t>(config_.n);
       const std::uint64_t deadline = config_.fd_suspect_timeout_ns +
                                      (rank - 1) * config_.fd_heartbeat_interval_ns * 2;
-      if (now > last && now - last > deadline && last_suspected_view_ != view) {
-        last_suspected_view_ = view;
-        dispatcher_.try_push(SuspectEvent{view});
+      if (now > last && now - last > deadline && last_suspected_view_[p] != view) {
+        last_suspected_view_[p] = view;
+        feeds_[p].dispatcher->try_push(SuspectEvent{view});
+      }
+    }
+
+    // Leader alignment: cross-partition requests are ordered in EVERY
+    // pipeline, so a stable split (partition p led by a different live
+    // replica than partition 0) would wedge them forever. Force the
+    // straggler to re-elect until the leaders converge on partition 0's.
+    if (p > 0) {
+      if (leader == leader0) {
+        misaligned_since_ns_[p] = 0;
+      } else if (misaligned_since_ns_[p] == 0) {
+        misaligned_since_ns_[p] = now;
+      } else if (now - misaligned_since_ns_[p] > config_.partition_align_timeout_ns &&
+                 last_suspected_view_[p] != view) {
+        // Mark suspected only if the event actually landed: a dropped
+        // try_push (full dispatcher) must retry on the next tick or this
+        // replica would never nudge this view again.
+        if (feeds_[p].dispatcher->try_push(SuspectEvent{view})) {
+          last_suspected_view_[p] = view;
+          misaligned_since_ns_[p] = now;  // re-arm: one nudge per timeout
+        }
       }
     }
   }
 
   if (now - last_catchup_tick_ns_ >= config_.catchup_interval_ns) {
     last_catchup_tick_ns_ = now;
-    dispatcher_.try_push(CatchupTickEvent{});
+    for (auto& feed : feeds_) feed.dispatcher->try_push(CatchupTickEvent{});
   }
 }
 

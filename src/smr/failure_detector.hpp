@@ -12,10 +12,19 @@
 //     stale. Suspicion is staggered by rank distance from the leader so
 //     the next-in-line replica usually wins the election without dueling;
 //   * doubles as the housekeeping timer: emits CatchupTickEvents.
+//
+// Partitioned replicas run ONE FailureDetector over all pipelines: each
+// partition elects per its own view, but liveness evidence (any traffic
+// from a peer) is replica-level. The FD additionally keeps the pipelines'
+// leaders ALIGNED: cross-partition requests need every partition led by
+// the same replica to make progress, so a partition whose leader disagrees
+// with partition 0's for longer than Config::partition_align_timeout_ns is
+// suspected into a new election until the leaders converge.
 #pragma once
 
 #include <condition_variable>
 #include <mutex>
+#include <vector>
 
 #include "metrics/thread_stats.hpp"
 #include "smr/events.hpp"
@@ -26,8 +35,18 @@ namespace mcsmr::smr {
 
 class FailureDetector {
  public:
+  struct PartitionFeed {
+    DispatcherQueue* dispatcher = nullptr;
+    SharedState* shared = nullptr;
+  };
+
+  /// Single-pipeline convenience (legacy signature).
   FailureDetector(const Config& config, ReplicaId self, ReplicaIo& replica_io,
                   DispatcherQueue& dispatcher, SharedState& shared);
+  /// One feed per partition, in index order; feeds[0].shared also hosts
+  /// the replica-level liveness timestamps.
+  FailureDetector(const Config& config, ReplicaId self, ReplicaIo& replica_io,
+                  std::vector<PartitionFeed> feeds);
   ~FailureDetector();
 
   void start();
@@ -36,16 +55,19 @@ class FailureDetector {
  private:
   void run();
   void tick(std::uint64_t now);
+  SharedState& liveness() const { return *feeds_.front().shared; }
 
   const Config& config_;
   const ReplicaId self_;
   ReplicaIo& replica_io_;
-  DispatcherQueue& dispatcher_;
-  SharedState& shared_;
+  std::vector<PartitionFeed> feeds_;
 
   std::uint64_t last_heartbeat_ns_ = 0;
   std::uint64_t last_catchup_tick_ns_ = 0;
-  std::uint64_t last_suspected_view_ = UINT64_MAX;  // suspect each view once
+  // Per partition: suspect each view once; when a partition's leader first
+  // diverged from partition 0's (0 = aligned).
+  std::vector<std::uint64_t> last_suspected_view_;
+  std::vector<std::uint64_t> misaligned_since_ns_;
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -1,0 +1,146 @@
+#include "smr/partition.hpp"
+
+namespace mcsmr::smr {
+
+// --- PartitionRouter --------------------------------------------------------
+
+PartitionRouter::Route PartitionRouter::route(const Bytes& payload,
+                                              paxos::ClientId client) const {
+  if (partitions_ == 1) return {false, 0};
+  const RequestClass cls = classifier_.classify(payload);
+  if (cls.global) return {true, 0};
+  if (cls.keys.empty()) {
+    // Conflict-free and keyless (e.g. NullService): any stream preserves
+    // semantics; spread by client id so each closed loop stays sticky.
+    return {false, partition_of_key(client, partitions_)};
+  }
+  const std::uint32_t first = partition_of_key(cls.keys[0], partitions_);
+  for (std::size_t i = 1; i < cls.keys.size(); ++i) {
+    if (partition_of_key(cls.keys[i], partitions_) != first) return {true, 0};
+  }
+  return {false, first};
+}
+
+// --- CrossPartitionBarrier --------------------------------------------------
+
+CrossPartitionBarrier::CrossPartitionBarrier(std::uint32_t partitions)
+    : count_(partitions), heads_(partitions, nullptr) {}
+
+bool CrossPartitionBarrier::arrive(std::uint32_t partition, const paxos::Request& head) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return participate(partition, &head, lock);
+}
+
+bool CrossPartitionBarrier::help(std::uint32_t partition) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return false;
+  if (work_.empty()) return true;  // stale nudge: nothing to quiesce for
+  return participate(partition, nullptr, lock);
+}
+
+bool CrossPartitionBarrier::quiesce(std::uint32_t partition, std::function<void()> work) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return false;
+  work_.push_back(std::move(work));
+  work_pending_.store(true, std::memory_order_release);
+  if (nudge_) {
+    // Wake idle siblings. Nudge outside the lock: it only try_pushes
+    // events, but there is no reason to hold anyone here.
+    lock.unlock();
+    nudge_();
+    lock.lock();
+    if (closed_) return false;
+  }
+  return participate(partition, nullptr, lock);
+}
+
+bool CrossPartitionBarrier::participate(std::uint32_t partition, const paxos::Request* head,
+                                        std::unique_lock<std::mutex>& lock) {
+  if (closed_) return false;
+  heads_[partition] = head;
+  ++arrived_;
+  const std::uint64_t my_generation = generation_;
+  if (arrived_ == count_) {
+    run_cycle(lock);
+    return !closed_;
+  }
+  cv_.wait(lock, [&] { return generation_ != my_generation || closed_; });
+  return !closed_;
+}
+
+void CrossPartitionBarrier::run_cycle(std::unique_lock<std::mutex>& lock) {
+  // All count_ participants are parked (count_ - 1 in cv_.wait, plus this
+  // thread): every shard is quiesced at a request boundary.
+  std::vector<std::function<void()>> work;
+  work.swap(work_);
+  work_pending_.store(false, std::memory_order_release);
+  bool pure = true;
+  for (const auto* head : heads_) pure = pure && head != nullptr;
+  const paxos::Request* target = pure ? heads_[0] : nullptr;
+
+  lock.unlock();
+  for (auto& fn : work) fn();
+  // Cross-partition requests execute only in PURE cycles — every
+  // participant parked at a cross-partition request of its own decided
+  // order. A helper's park point is timing-dependent, and executing a
+  // request against its shard there would diverge across replicas.
+  // Partition 0's head is the canonical next: the execution order of
+  // cross-partition requests is exactly their partition-0 decided order.
+  if (target != nullptr && exec_) {
+    exec_(*target);
+    globals_executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  lock.lock();
+
+  arrived_ = 0;
+  for (auto& head : heads_) head = nullptr;
+  ++generation_;
+  cycles_.fetch_add(1, std::memory_order_relaxed);
+  cv_.notify_all();
+}
+
+void CrossPartitionBarrier::close() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+// --- PartitionManifest ------------------------------------------------------
+
+namespace {
+constexpr std::uint32_t kManifestMagic = 0x4D435031;  // "MCP1"
+}  // namespace
+
+Bytes encode_manifest(const PartitionManifest& manifest) {
+  ByteWriter writer;
+  writer.u32(kManifestMagic);
+  writer.u32(static_cast<std::uint32_t>(manifest.parts.size()));
+  for (const auto& part : manifest.parts) {
+    writer.u64(part.next_instance);
+    writer.bytes(part.state);
+    writer.bytes(part.reply_cache);
+  }
+  return writer.take();
+}
+
+PartitionManifest decode_manifest(const Bytes& data) {
+  ByteReader reader(data);
+  if (reader.u32() != kManifestMagic) {
+    throw DecodeError("not a partition manifest (bad magic)");
+  }
+  PartitionManifest manifest;
+  const std::uint32_t count = reader.u32();
+  manifest.parts.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    PartitionManifest::Part part;
+    part.next_instance = reader.u64();
+    part.state = reader.bytes();
+    part.reply_cache = reader.bytes();
+    manifest.parts.push_back(std::move(part));
+  }
+  return manifest;
+}
+
+}  // namespace mcsmr::smr

@@ -1,0 +1,162 @@
+// Partitioned SMR pipelines (compartmentalization per Whittaker et al.,
+// arXiv:2012.15762, and partitioned parallelism per Marandi et al.,
+// arXiv:1311.6183).
+//
+// With Config::num_partitions = P > 1 the replica runs P independent
+// ordering+execution pipelines (Batcher -> ProposalQueue -> Paxos engine
+// -> ServiceManager) side by side, each owning a shard of the service
+// state. Three pieces tie them together:
+//
+//   * PartitionRouter — classifies each client request (via the pure
+//     Service::classify) and maps its key hashes to one partition.
+//     Requests whose keys span partitions — or that are `global` — are
+//     CROSS-PARTITION: the admission gate submits them to EVERY
+//     partition's stream so each pipeline orders the request relative to
+//     its own single-partition traffic.
+//
+//   * CrossPartitionBarrier — the rendezvous where cross-partition
+//     requests execute. Each partition's ServiceManager, upon reaching an
+//     unexecuted cross-partition request in its decided order, arrives
+//     and parks. When all P partitions are parked, every shard is
+//     quiesced at a request boundary; the last arriver executes PARTITION
+//     0's pending request (so cross-partition requests execute exactly in
+//     their partition-0 decided order — a replicated, deterministic
+//     sequence), records it in every partition's reply cache, and
+//     releases the cycle. Waiters re-check their own head against the
+//     cache and either advance (it was executed) or re-arrive.
+//     The barrier also hosts QUIESCE work (snapshot capture and
+//     whole-replica snapshot install): a partition queues a closure and
+//     all siblings join the rendezvous cooperatively (helpers). A cycle
+//     with helpers runs only the queued work — never a cross-partition
+//     request, whose execution point must not depend on where a helper
+//     happened to be in its stream.
+//
+//   * PartitionManifest — the stitched whole-replica snapshot: one
+//     (next_instance, service state, reply cache) triple per partition.
+//     Captured at a quiesce cycle and served by every partition's engine
+//     for deep catch-up; installed atomically across all partitions
+//     (again at a quiesce cycle), so "shard i reflects request r" and
+//     "partition i's reply cache covers r" never disagree between shards.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "paxos/types.hpp"
+#include "smr/service.hpp"
+
+namespace mcsmr::smr {
+
+class PartitionRouter {
+ public:
+  struct Route {
+    bool global = false;        ///< submit to every partition + barrier
+    std::uint32_t partition = 0;  ///< target pipeline when !global
+  };
+
+  /// `classifier` is any service instance of the replicated type —
+  /// classify() is a pure function of the request bytes, so shard 0's
+  /// instance serves. Keeps a reference; caller owns lifetime.
+  PartitionRouter(const Service& classifier, std::uint32_t partitions)
+      : classifier_(classifier), partitions_(partitions == 0 ? 1 : partitions) {}
+
+  std::uint32_t partitions() const { return partitions_; }
+
+  /// Route one request payload. Keyless conflict-free requests spread by
+  /// client id (sticky, so a client's closed loop stays in one stream);
+  /// multi-key requests whose keys land on one partition route there;
+  /// everything else is cross-partition.
+  Route route(const Bytes& payload, paxos::ClientId client) const;
+
+ private:
+  const Service& classifier_;
+  const std::uint32_t partitions_;
+};
+
+class CrossPartitionBarrier {
+ public:
+  /// Executes one cross-partition request with every shard quiesced:
+  /// apply to the shards, update every partition's reply cache, send the
+  /// client reply. Provided by the Replica (it sees all partitions).
+  using GlobalExec = std::function<void(const paxos::Request&)>;
+  /// Wakes idle ServiceManagers (try_push a BarrierNudgeEvent per
+  /// partition) so a requested quiesce is not stalled by an empty stream.
+  using Nudge = std::function<void()>;
+
+  explicit CrossPartitionBarrier(std::uint32_t partitions);
+
+  void set_global_exec(GlobalExec exec) { exec_ = std::move(exec); }
+  void set_nudge(Nudge nudge) { nudge_ = std::move(nudge); }
+
+  /// ServiceManager of `partition`, blocked on the unexecuted
+  /// cross-partition request `head` (must stay alive across the call).
+  /// Returns when a rendezvous cycle completed — the caller re-checks its
+  /// reply cache and either advances or arrives again. False = closed.
+  bool arrive(std::uint32_t partition, const paxos::Request& head);
+
+  /// Cooperatively join a rendezvous for queued quiesce work. Returns
+  /// immediately when none is queued. False = closed.
+  bool help(std::uint32_t partition);
+
+  /// Queue `work` for the next rendezvous and participate from this
+  /// ServiceManager thread; returns after `work` ran (on whichever
+  /// participant closed the cycle). False = closed without running.
+  bool quiesce(std::uint32_t partition, std::function<void()> work);
+
+  /// Cheap check for the ServiceManager event loop.
+  bool quiesce_requested() const {
+    return work_pending_.load(std::memory_order_acquire);
+  }
+
+  /// Unblock every waiter permanently (shutdown).
+  void close();
+
+  // --- stats (tests/benches) ----------------------------------------------
+  std::uint64_t cycles() const { return cycles_.load(std::memory_order_relaxed); }
+  std::uint64_t globals_executed() const {
+    return globals_executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Park as a participant; the last arriver runs the cycle. `head` is
+  /// null for helpers.
+  bool participate(std::uint32_t partition, const paxos::Request* head,
+                   std::unique_lock<std::mutex>& lock);
+  void run_cycle(std::unique_lock<std::mutex>& lock);
+
+  const std::uint32_t count_;
+  GlobalExec exec_;
+  Nudge nudge_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<const paxos::Request*> heads_;  // per partition; null = helper
+  std::uint32_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<std::function<void()>> work_;
+  std::atomic<bool> work_pending_{false};
+  bool closed_ = false;
+
+  std::atomic<std::uint64_t> cycles_{0};
+  std::atomic<std::uint64_t> globals_executed_{0};
+};
+
+// --- stitched whole-replica snapshots --------------------------------------
+
+struct PartitionManifest {
+  struct Part {
+    paxos::InstanceId next_instance = 0;  ///< first instance NOT covered
+    Bytes state;                          ///< Service::snapshot() of the shard
+    Bytes reply_cache;                    ///< ReplyCache::serialize()
+  };
+  std::vector<Part> parts;
+};
+
+Bytes encode_manifest(const PartitionManifest& manifest);
+/// Throws DecodeError on malformed input (wrong magic, truncation).
+PartitionManifest decode_manifest(const Bytes& data);
+
+}  // namespace mcsmr::smr

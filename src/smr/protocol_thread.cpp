@@ -4,7 +4,7 @@ namespace mcsmr::smr {
 
 ProtocolThread::ProtocolThread(const Config& config, paxos::Engine& engine,
                                DispatcherQueue& dispatcher, ProposalQueue& proposals,
-                               DecisionQueue& decisions, ReplicaIo& replica_io,
+                               DecisionQueue& decisions, PartitionIo replica_io,
                                Retransmitter& retransmitter, SharedState& shared)
     : config_(config), engine_(engine), dispatcher_(dispatcher), proposals_(proposals),
       decisions_(decisions), replica_io_(replica_io), retransmitter_(retransmitter),

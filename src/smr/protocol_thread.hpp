@@ -28,7 +28,7 @@ namespace mcsmr::smr {
 class ProtocolThread {
  public:
   ProtocolThread(const Config& config, paxos::Engine& engine, DispatcherQueue& dispatcher,
-                 ProposalQueue& proposals, DecisionQueue& decisions, ReplicaIo& replica_io,
+                 ProposalQueue& proposals, DecisionQueue& decisions, PartitionIo replica_io,
                  Retransmitter& retransmitter, SharedState& shared);
   ~ProtocolThread();
 
@@ -47,7 +47,7 @@ class ProtocolThread {
   DispatcherQueue& dispatcher_;
   ProposalQueue& proposals_;
   DecisionQueue& decisions_;
-  ReplicaIo& replica_io_;
+  PartitionIo replica_io_;
   Retransmitter& retransmitter_;
   SharedState& shared_;
 

@@ -4,21 +4,36 @@
 // with ReplicaIO reader/sender pairs per peer and the FailureDetector and
 // Retransmitter satellites.
 //
+// With Config::num_partitions = P > 1 the replica owns P of those
+// pipelines (Partition units) behind a PartitionRouter: the admission gate
+// routes each client request to one pipeline by its classify() key hash,
+// so throughput scales with partitions instead of capping at one
+// Batcher -> Protocol -> Execution chain. ReplicaIO, ClientIO and the
+// FailureDetector stay replica-level (sockets, client connections and
+// liveness evidence are per replica); peer frames carry a partition tag.
+// Cross-partition requests and whole-replica snapshot manifests run
+// through the CrossPartitionBarrier (see smr/partition.hpp). P = 1 keeps
+// every pre-partitioning code path byte-identical.
+//
 // Two factories:
 //   create_sim — replicas share a SimNetwork (benches, integration tests;
 //                the NIC model shapes all traffic);
 //   create_tcp — real sockets on loopback (examples, end-to-end tests).
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "paxos/engine.hpp"
 #include "smr/batcher.hpp"
 #include "smr/client_io.hpp"
 #include "smr/failure_detector.hpp"
+#include "smr/partition.hpp"
 #include "smr/protocol_thread.hpp"
 #include "smr/replica_io.hpp"
 #include "smr/reply_cache.hpp"
+#include "smr/request_gate.hpp"
 #include "smr/retransmitter.hpp"
 #include "smr/service.hpp"
 #include "smr/service_manager.hpp"
@@ -29,7 +44,17 @@ namespace mcsmr::smr {
 
 class Replica {
  public:
+  /// Invoked once per partition — each pipeline owns one shard instance
+  /// of the replicated service type.
+  using ServiceFactory = std::function<std::unique_ptr<Service>()>;
+
   /// SimNet-backed replica. `replica_nodes[i]` is replica i's SimNet node.
+  static std::unique_ptr<Replica> create_sim(const Config& config, ReplicaId self,
+                                             net::SimNetwork& net,
+                                             const std::vector<net::NodeId>& replica_nodes,
+                                             ServiceFactory factory);
+  /// Single-shard convenience; requires num_partitions == 1 (a lone
+  /// instance cannot be split into shards) — returns nullptr otherwise.
   static std::unique_ptr<Replica> create_sim(const Config& config, ReplicaId self,
                                              net::SimNetwork& net,
                                              const std::vector<net::NodeId>& replica_nodes,
@@ -38,6 +63,12 @@ class Replica {
   /// TCP-backed replica: peers on base_port+id, clients on client_port
   /// (0 = ephemeral, see client_port()). Returns nullptr if peer links
   /// cannot be established before `deadline_ns`.
+  static std::unique_ptr<Replica> create_tcp(const Config& config, ReplicaId self,
+                                             std::uint16_t peer_base_port,
+                                             std::uint16_t client_port,
+                                             ServiceFactory factory,
+                                             std::uint64_t deadline_ns);
+  /// Single-shard convenience; requires num_partitions == 1.
   static std::unique_ptr<Replica> create_tcp(const Config& config, ReplicaId self,
                                              std::uint16_t peer_base_port,
                                              std::uint16_t client_port,
@@ -52,56 +83,91 @@ class Replica {
   void stop();
 
   // --- Introspection (benches / tests) -------------------------------------
+  // Counters aggregate over all partitions; leadership/view read pipeline
+  // 0 (the FD aligns the others to it). With num_partitions = 1 every
+  // accessor means exactly what it meant before partitioning.
   ReplicaId id() const { return self_; }
-  bool is_leader() const { return shared_.is_leader.load(std::memory_order_relaxed); }
-  std::uint64_t view() const { return shared_.view.load(std::memory_order_relaxed); }
-  std::uint32_t window_in_use() const {
-    return shared_.window_in_use.load(std::memory_order_relaxed);
+  bool is_leader() const {
+    return partitions_.front()->shared.is_leader.load(std::memory_order_relaxed);
   }
-  std::uint64_t executed_requests() const {
-    return shared_.executed_requests.load(std::memory_order_relaxed);
+  std::uint64_t view() const {
+    return partitions_.front()->shared.view.load(std::memory_order_relaxed);
   }
-  std::uint64_t decided_instances() const {
-    return shared_.decided_instances.load(std::memory_order_relaxed);
+  std::uint32_t window_in_use() const;
+  std::uint64_t executed_requests() const;
+  std::uint64_t decided_instances() const;
+  std::size_t request_queue_size() const;
+  std::size_t proposal_queue_size() const;
+  std::size_t dispatcher_queue_size() const;
+  std::size_t decision_queue_size() const;
+  SharedState& shared() { return partitions_.front()->shared; }
+  SharedState& shared(std::uint32_t partition) { return partitions_[partition]->shared; }
+  Service& service() { return *partitions_.front()->service; }
+  Service& service(std::uint32_t partition) { return *partitions_[partition]->service; }
+  ReplyCache& reply_cache() { return partitions_.front()->reply_cache; }
+  ReplyCache& reply_cache(std::uint32_t partition) {
+    return partitions_[partition]->reply_cache;
   }
-  std::size_t request_queue_size() const { return request_queue_.size(); }
-  std::size_t proposal_queue_size() const { return proposal_queue_.size(); }
-  std::size_t dispatcher_queue_size() const { return dispatcher_queue_.size(); }
-  std::size_t decision_queue_size() const { return decision_queue_.size(); }
-  SharedState& shared() { return shared_; }
-  Service& service() { return *service_; }
-  ReplyCache& reply_cache() { return reply_cache_; }
+  std::uint32_t num_partitions() const {
+    return static_cast<std::uint32_t>(partitions_.size());
+  }
+  /// Barrier statistics (null with one partition).
+  const CrossPartitionBarrier* barrier() const { return barrier_.get(); }
+  /// The stitched service state across all shards (next_instance per
+  /// part included; reply caches omitted) — convergence checks in tests
+  /// compare this across replicas and partition counts.
+  Bytes state_manifest() const;
   /// TCP mode only: the port clients connect to.
   std::uint16_t client_port() const;
 
  private:
+  /// One full SMR pipeline: the per-stream state that used to be the
+  /// replica's singletons — queues, Paxos engine instance space, Batcher,
+  /// Protocol thread, ServiceManager + executor, shard, reply cache.
+  struct Partition {
+    Partition(const Config& replica_config, ReplicaId self, std::uint32_t index,
+              ReplicaIo& replica_io, std::unique_ptr<Service> svc);
+
+    const std::uint32_t index;
+    Config config;  ///< replica config with the partition thread-name prefix
+    SharedState shared;
+    RequestQueue request_queue;
+    ProposalQueue proposal_queue;
+    DispatcherQueue dispatcher_queue;
+    DecisionQueue decision_queue;
+    std::unique_ptr<Service> service;
+    ReplyCache reply_cache;
+    paxos::Engine engine;
+    Retransmitter retransmitter;
+    Batcher batcher;
+    std::unique_ptr<ServiceManager> service_manager;  // wired with the ClientIo
+    std::unique_ptr<ProtocolThread> protocol;
+  };
+
   Replica(const Config& config, ReplicaId self, std::unique_ptr<PeerTransport> transport,
-          std::unique_ptr<Service> service);
+          const ServiceFactory& factory);
 
   /// Finishes construction once the ClientIo implementation exists.
   void wire_client_io(std::unique_ptr<ClientIo> client_io);
+  std::vector<RequestGate::Intake> intakes();
+
+  // Cross-partition callbacks (invoked from barrier cycles — all
+  // ServiceManagers parked at request boundaries).
+  void execute_cross_partition(const paxos::Request& request);
+  void capture_manifest();
+  void install_manifest(const SnapshotInstallEvent& event);
+  void nudge_partitions();
 
   Config config_;
   ReplicaId self_;
-  SharedState shared_;
-
-  RequestQueue request_queue_;
-  ProposalQueue proposal_queue_;
-  DispatcherQueue dispatcher_queue_;
-  DecisionQueue decision_queue_;
 
   std::unique_ptr<PeerTransport> transport_;
-  std::unique_ptr<Service> service_;
-  ReplyCache reply_cache_;
-
-  paxos::Engine engine_;
   ReplicaIo replica_io_;
-  Retransmitter retransmitter_;
+  std::unique_ptr<CrossPartitionBarrier> barrier_;  ///< null when P == 1
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  std::unique_ptr<PartitionRouter> router_;  ///< null when P == 1
   std::unique_ptr<ClientIo> client_io_;
-  std::unique_ptr<ServiceManager> service_manager_;
-  std::unique_ptr<ProtocolThread> protocol_;
-  Batcher batcher_;
-  FailureDetector failure_detector_;
+  std::unique_ptr<FailureDetector> failure_detector_;
 
   bool started_ = false;
 };

@@ -4,14 +4,8 @@
 
 namespace mcsmr::smr {
 
-ReplicaIo::ReplicaIo(const Config& config, ReplicaId self, PeerTransport& transport,
-                     DispatcherQueue& dispatcher, SharedState& shared)
-    : ReplicaIo(config, self, transport, dispatcher, shared, ThreadNames{}) {}
-
-ReplicaIo::ReplicaIo(const Config& config, ReplicaId self, PeerTransport& transport,
-                     DispatcherQueue& dispatcher, SharedState& shared, ThreadNames names)
-    : config_(config), self_(self), transport_(transport), dispatcher_(dispatcher),
-      shared_(shared), names_(std::move(names)) {
+ReplicaIo::ReplicaIo(const Config& config, ReplicaId self, PeerTransport& transport)
+    : config_(config), self_(self), transport_(transport), names_(ThreadNames{}) {
   names_.rcv_prefix = config.thread_name_prefix + names_.rcv_prefix;
   names_.snd_prefix = config.thread_name_prefix + names_.snd_prefix;
   send_queues_.resize(static_cast<std::size_t>(config.n));
@@ -20,6 +14,23 @@ ReplicaIo::ReplicaIo(const Config& config, ReplicaId self, PeerTransport& transp
     send_queues_[static_cast<std::size_t>(peer)] = std::make_unique<SendQueue>(
         config.send_queue_cap, "SendQueue-" + std::to_string(peer));
   }
+}
+
+ReplicaIo::ReplicaIo(const Config& config, ReplicaId self, PeerTransport& transport,
+                     DispatcherQueue& dispatcher, SharedState& shared)
+    : ReplicaIo(config, self, transport, dispatcher, shared, ThreadNames{}) {}
+
+ReplicaIo::ReplicaIo(const Config& config, ReplicaId self, PeerTransport& transport,
+                     DispatcherQueue& dispatcher, SharedState& shared, ThreadNames names)
+    : ReplicaIo(config, self, transport) {
+  names_ = std::move(names);
+  names_.rcv_prefix = config.thread_name_prefix + names_.rcv_prefix;
+  names_.snd_prefix = config.thread_name_prefix + names_.snd_prefix;
+  register_partition(dispatcher, shared);
+}
+
+void ReplicaIo::register_partition(DispatcherQueue& dispatcher, SharedState& shared) {
+  feeds_.push_back(Feed{&dispatcher, &shared});
 }
 
 void ReplicaIo::start(bool spawn_receivers) {
@@ -48,14 +59,27 @@ void ReplicaIo::stop() {
 }
 
 void ReplicaIo::rcv_loop(ReplicaId peer) {
+  const std::uint32_t partitions = partition_count();
   while (auto frame = transport_.recv_from(peer)) {
     // Any traffic from the peer proves liveness; the FD thread reads this
     // without being notified (timestamps only increase, §V-C3).
-    shared_.last_recv_ns[peer].store(mono_ns(), std::memory_order_relaxed);
+    liveness().last_recv_ns[peer].store(mono_ns(), std::memory_order_relaxed);
     try {
-      paxos::WireMessage wire = paxos::decode_message(*frame);
+      const std::uint8_t* data = frame->data();
+      std::size_t size = frame->size();
+      std::uint32_t partition = 0;
+      if (partitions > 1) {
+        // Partition-tagged frame: one leading byte selects the pipeline.
+        if (size == 0) throw DecodeError("empty partitioned frame");
+        partition = data[0];
+        if (partition >= partitions) throw DecodeError("partition tag out of range");
+        ++data;
+        --size;
+      }
+      paxos::WireMessage wire = paxos::decode_message(std::span(data, size));
       // Trust the link, not the frame header, for the sender identity.
-      if (!dispatcher_.push(PeerMessageEvent{peer, std::move(wire.message)})) return;
+      if (!feeds_[partition].dispatcher->push(PeerMessageEvent{peer, std::move(wire.message)}))
+        return;
     } catch (const DecodeError& error) {
       LOG_WARN << "dropping malformed frame from replica " << peer << ": " << error.what();
     }
@@ -67,7 +91,7 @@ void ReplicaIo::snd_loop(ReplicaId peer) {
   while (auto frame = queue.pop()) {
     if (!transport_.send_to(peer, *frame)) {
       // Link down: drop; retransmission recovers once it heals.
-      shared_.dropped_peer_frames.fetch_add(1, std::memory_order_relaxed);
+      liveness().dropped_peer_frames.fetch_add(1, std::memory_order_relaxed);
     }
   }
 }
@@ -76,18 +100,28 @@ bool ReplicaIo::enqueue_frame(ReplicaId to, const Bytes& frame) {
   SendQueue* queue = send_queues_[to].get();
   if (queue == nullptr) return false;
   if (!queue->try_push(frame)) {
-    shared_.dropped_peer_frames.fetch_add(1, std::memory_order_relaxed);
+    liveness().dropped_peer_frames.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   return true;
 }
 
-bool ReplicaIo::send(ReplicaId to, const paxos::Message& message) {
-  return enqueue_frame(to, paxos::encode_message(self_, message));
+Bytes ReplicaIo::encode_frame(std::uint32_t partition, const paxos::Message& message) const {
+  Bytes inner = paxos::encode_message(self_, message);
+  if (partition_count() <= 1) return inner;  // untagged: pre-partitioning format
+  Bytes framed;
+  framed.reserve(1 + inner.size());
+  framed.push_back(static_cast<std::uint8_t>(partition));
+  framed.insert(framed.end(), inner.begin(), inner.end());
+  return framed;
 }
 
-void ReplicaIo::broadcast(const paxos::Message& message) {
-  const Bytes frame = paxos::encode_message(self_, message);
+bool ReplicaIo::send(ReplicaId to, const paxos::Message& message, std::uint32_t partition) {
+  return enqueue_frame(to, encode_frame(partition, message));
+}
+
+void ReplicaIo::broadcast(const paxos::Message& message, std::uint32_t partition) {
+  const Bytes frame = encode_frame(partition, message);
   for (int peer = 0; peer < config_.n; ++peer) {
     if (static_cast<ReplicaId>(peer) != self_) {
       enqueue_frame(static_cast<ReplicaId>(peer), frame);

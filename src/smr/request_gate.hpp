@@ -5,10 +5,21 @@
 // from the reply cache, suppress retries of in-flight requests, and
 // otherwise push into the RequestQueue (a blocking push — the flow-control
 // point that makes a saturated pipeline stop reading from clients).
+// Partitioned replicas (num_partitions > 1) hand the gate one intake
+// (RequestQueue + ReplyCache) per pipeline plus the PartitionRouter:
+// single-partition requests flow into their pipeline's queue and dedup
+// against that pipeline's cache; cross-partition requests are submitted to
+// EVERY pipeline (under one mutex, so all streams see the same relative
+// submission order) and dedup against partition 0's cache — the partition
+// whose decided order fixes their execution order.
 #pragma once
+
+#include <mutex>
+#include <vector>
 
 #include "smr/client_proto.hpp"
 #include "smr/events.hpp"
+#include "smr/partition.hpp"
 #include "smr/reply_cache.hpp"
 #include "smr/shared_state.hpp"
 
@@ -16,9 +27,21 @@ namespace mcsmr::smr {
 
 class RequestGate {
  public:
+  struct Intake {
+    RequestQueue* requests = nullptr;
+    ReplyCache* reply_cache = nullptr;
+  };
+
+  /// Single-pipeline convenience (legacy signature).
   RequestGate(const Config& config, RequestQueue& requests, ReplyCache& reply_cache,
               SharedState& shared)
-      : config_(config), requests_(requests), reply_cache_(reply_cache), shared_(shared) {}
+      : RequestGate(config, {Intake{&requests, &reply_cache}}, nullptr, shared) {}
+
+  /// One intake per partition, in index order. `router` may be null for a
+  /// single pipeline. `shared` is partition 0's (leadership + counters).
+  RequestGate(const Config& config, std::vector<Intake> intakes,
+              const PartitionRouter* router, SharedState& shared)
+      : config_(config), intakes_(std::move(intakes)), router_(router), shared_(shared) {}
 
   enum class Action {
     kForwarded,  ///< pushed on the RequestQueue; reply comes via ServiceManager
@@ -44,7 +67,11 @@ class RequestGate {
       return out;
     }
 
-    const auto lookup = reply_cache_.lookup(frame.client_id, frame.seq);
+    PartitionRouter::Route route;
+    if (router_ != nullptr) route = router_->route(frame.payload, frame.client_id);
+    ReplyCache& cache = *intakes_[route.global ? 0 : route.partition].reply_cache;
+
+    const auto lookup = cache.lookup(frame.client_id, frame.seq);
     switch (lookup.state) {
       case ReplyCache::Lookup::kCached:
         shared_.cached_replies.fetch_add(1, std::memory_order_relaxed);
@@ -60,8 +87,21 @@ class RequestGate {
         break;
     }
 
-    reply_cache_.mark_admitted(frame.client_id, frame.seq);
-    if (!requests_.push(paxos::Request{frame.client_id, frame.seq, frame.payload})) {
+    cache.mark_admitted(frame.client_id, frame.seq);
+    paxos::Request request{frame.client_id, frame.seq, frame.payload};
+    if (route.global) {
+      // Submit to every pipeline so each orders the request against its
+      // own traffic; the barrier executes it once all streams reach it.
+      // One mutex keeps the relative submission order identical across
+      // streams under a stable leader.
+      std::lock_guard<std::mutex> guard(cross_mu_);
+      for (auto& intake : intakes_) {
+        if (!intake.requests->push(request)) {
+          out.action = Action::kDrop;  // shutting down
+          return out;
+        }
+      }
+    } else if (!intakes_[route.partition].requests->push(std::move(request))) {
       out.action = Action::kDrop;  // shutting down
       return out;
     }
@@ -71,9 +111,10 @@ class RequestGate {
 
  private:
   const Config& config_;
-  RequestQueue& requests_;
-  ReplyCache& reply_cache_;
+  std::vector<Intake> intakes_;
+  const PartitionRouter* router_;
   SharedState& shared_;
+  std::mutex cross_mu_;
 };
 
 /// Small striped map from client id to connection handle, used by ClientIo

@@ -4,7 +4,7 @@
 
 namespace mcsmr::smr {
 
-Retransmitter::Retransmitter(const Config& config, ReplicaIo& replica_io)
+Retransmitter::Retransmitter(const Config& config, PartitionIo replica_io)
     : config_(config), replica_io_(replica_io) {}
 
 Retransmitter::~Retransmitter() { stop(); }

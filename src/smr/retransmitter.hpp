@@ -30,7 +30,7 @@ namespace mcsmr::smr {
 
 class Retransmitter {
  public:
-  Retransmitter(const Config& config, ReplicaIo& replica_io);
+  Retransmitter(const Config& config, PartitionIo replica_io);
   ~Retransmitter();
 
   void start();
@@ -64,7 +64,7 @@ class Retransmitter {
   void run();
 
   const Config& config_;
-  ReplicaIo& replica_io_;
+  PartitionIo replica_io_;
 
   // Protocol-thread-private index (single caller; no lock by design).
   std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> by_key_;

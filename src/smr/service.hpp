@@ -45,6 +45,38 @@ struct RequestClass {
   static RequestClass write(std::uint64_t key) { return {{key}, false, false}; }
 };
 
+/// The one key-placement function of the partitioned replica: which shard
+/// owns the state behind `key_hash` when the service is split over
+/// `partitions` pipelines. Used by the PartitionRouter (request routing)
+/// and by ShardView (cross-partition execution); both MUST agree, which is
+/// why it lives here. The multiply mixes first — std::hash is commonly the
+/// identity on integers, and a plain modulo would correlate with key
+/// generation patterns.
+inline std::uint32_t partition_of_key(std::uint64_t key_hash, std::uint32_t partitions) {
+  if (partitions <= 1) return 0;
+  const std::uint64_t mixed = key_hash * 0x9E3779B97F4A7C15ull;
+  return static_cast<std::uint32_t>((mixed >> 32) % partitions);
+}
+
+class Service;
+
+/// All shards of a partitioned service, handed to execute_global() at a
+/// cross-partition rendezvous. Every shard is quiesced at a request
+/// boundary, so the executing thread may read and mutate any of them.
+class ShardView {
+ public:
+  explicit ShardView(const std::vector<Service*>& shards) : shards_(shards) {}
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(shards_.size()); }
+  Service& shard(std::uint32_t index) const { return *shards_[index]; }
+  std::uint32_t shard_for(std::uint64_t key_hash) const {
+    return partition_of_key(key_hash, size());
+  }
+
+ private:
+  const std::vector<Service*>& shards_;
+};
+
 class Service {
  public:
   virtual ~Service() = default;
@@ -59,6 +91,15 @@ class Service {
   /// executor to serial order — always safe for services that do not
   /// opt in.
   virtual RequestClass classify(const Bytes& /*request*/) const { return RequestClass{}; }
+
+  /// Apply one request whose keys span shards (or that classify() calls
+  /// global). Called at a cross-partition rendezvous with every shard
+  /// quiesced; `this` is shard 0's instance. The default gives single-
+  /// shard semantics: execute on the shard the request's first key routes
+  /// to (shard 0 for keyless/global classifications) — correct for any
+  /// service without cross-shard state. Services with shared state across
+  /// shards (LockService's fencing counter) override it.
+  virtual Bytes execute_global(const Bytes& request, const ShardView& shards);
 
   /// Serialize the full service state.
   virtual Bytes snapshot() const = 0;
@@ -149,6 +190,10 @@ class LockService : public Service {
   /// different locks — must run in decided order or replicas would hand
   /// out diverging fencing tokens. Malformed requests are global.
   RequestClass classify(const Bytes& request) const override;
+  /// Partitioned ACQUIRE whose lock name lives on a different shard than
+  /// the fencing counter: the grant decision comes from the name shard,
+  /// the token from the counter shard — both quiesced at the rendezvous.
+  Bytes execute_global(const Bytes& request, const ShardView& shards) override;
   Bytes snapshot() const override;
   void install(const Bytes& state) override;
 

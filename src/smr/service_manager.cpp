@@ -8,9 +8,11 @@ namespace mcsmr::smr {
 
 ServiceManager::ServiceManager(const Config& config, DecisionQueue& decisions,
                                Service& service, ReplyCache& reply_cache, ClientIo& client_io,
-                               DispatcherQueue& dispatcher, SharedState& shared)
+                               DispatcherQueue& dispatcher, SharedState& shared,
+                               PartitionHooks hooks)
     : config_(config), decisions_(decisions), service_(service), reply_cache_(reply_cache),
-      client_io_(client_io), dispatcher_(dispatcher), shared_(shared) {
+      client_io_(client_io), dispatcher_(dispatcher), shared_(shared),
+      hooks_(std::move(hooks)) {
   if (config_.executor_impl == ExecutorImpl::kParallel) {
     executor_ = std::make_unique<ParallelExecutor>(config_, service_);
   }
@@ -42,16 +44,39 @@ void ServiceManager::run() {
         [&](auto& e) {
           using T = std::decay_t<decltype(e)>;
           if constexpr (std::is_same_v<T, Decision>) {
+            // A whole-replica manifest install can fast-forward this
+            // pipeline past decisions its engine re-delivers afterwards;
+            // consuming them twice would drift the instance counter.
+            if (e.instance < executed_instances_.load(std::memory_order_relaxed)) return;
             execute_batch(e.instance, e.batch);
             maybe_snapshot(e.instance);
           } else if constexpr (std::is_same_v<T, SnapshotInstallEvent>) {
-            service_.install(e.state);
-            reply_cache_.install(e.reply_cache);
-            executed_instances_.store(e.next_instance, std::memory_order_relaxed);
+            handle_install(e);
+          } else if constexpr (std::is_same_v<T, BarrierNudgeEvent>) {
+            // Wake-up only; the help check below does the work.
           }
         },
         *event);
+    maybe_help_barrier();
   }
+}
+
+void ServiceManager::maybe_help_barrier() {
+  if (hooks_.barrier != nullptr && hooks_.barrier->quiesce_requested()) {
+    hooks_.barrier->help(hooks_.index);
+  }
+}
+
+bool ServiceManager::cross_partition(const paxos::Request& request) const {
+  return hooks_.barrier != nullptr &&
+         hooks_.router->route(request.payload, request.client_id).global;
+}
+
+bool ServiceManager::wait_cross_partition(const paxos::Request& request) {
+  while (!reply_cache_.executed(request.client_id, request.seq)) {
+    if (!hooks_.barrier->arrive(hooks_.index, request)) return false;
+  }
+  return true;
 }
 
 void ServiceManager::execute_batch(paxos::InstanceId instance, const Bytes& batch) {
@@ -63,7 +88,7 @@ void ServiceManager::execute_batch(paxos::InstanceId instance, const Bytes& batc
               << "; skipping its requests but counting the instance";
     // The instance WAS consumed from the decided sequence: count it so
     // executed_instances_ stays in step with snapshot next_instance.
-    executed_instances_.fetch_add(1, std::memory_order_relaxed);
+    mark_instance_consumed(instance);
     return;
   }
   if (executor_) {
@@ -71,7 +96,21 @@ void ServiceManager::execute_batch(paxos::InstanceId instance, const Bytes& batc
   } else {
     execute_serial(requests);
   }
-  executed_instances_.fetch_add(1, std::memory_order_relaxed);
+  mark_instance_consumed(instance);
+}
+
+void ServiceManager::mark_instance_consumed(paxos::InstanceId instance) {
+  // Monotonic max, not an increment: a whole-replica manifest install can
+  // fast-forward the counter past `instance` WHILE this batch is parked
+  // at the barrier (wait_cross_partition). Incrementing on top of the
+  // fast-forward would overcount and make the stale-decision guard in
+  // run() drop the first post-cut instance forever. The install only
+  // writes while this thread is parked (barrier-quiesced), so a plain
+  // load/store pair is race-free.
+  const std::uint64_t next = instance + 1;
+  if (executed_instances_.load(std::memory_order_relaxed) < next) {
+    executed_instances_.store(next, std::memory_order_relaxed);
+  }
 }
 
 void ServiceManager::execute_serial(const std::vector<paxos::Request>& requests) {
@@ -79,6 +118,12 @@ void ServiceManager::execute_serial(const std::vector<paxos::Request>& requests)
     // Double-decide dedup: a retried request can legitimately be ordered
     // twice across a view change; execute only the first occurrence.
     if (reply_cache_.executed(request.client_id, request.seq)) continue;
+    if (cross_partition(request)) {
+      // Executed at a barrier rendezvous (reply sent there); this stream
+      // just holds position until it happens.
+      if (!wait_cross_partition(request)) return;  // shutting down
+      continue;
+    }
     Bytes reply = service_.execute(request.payload);
     reply_cache_.update(request.client_id, request.seq, reply);
     shared_.executed_requests.fetch_add(1, std::memory_order_relaxed);
@@ -86,27 +131,8 @@ void ServiceManager::execute_serial(const std::vector<paxos::Request>& requests)
   }
 }
 
-void ServiceManager::execute_parallel(const std::vector<paxos::Request>& requests) {
-  // Dedup BEFORE dispatch: against the reply cache (double-decides across
-  // view changes) and within the batch (the serial path catches an
-  // intra-batch duplicate via its per-request cache check; here the cache
-  // is only updated after the batch executes, so check explicitly).
-  std::vector<const paxos::Request*> todo;
-  todo.reserve(requests.size());
-  for (const auto& request : requests) {
-    if (reply_cache_.executed(request.client_id, request.seq)) continue;
-    // Match the serial path's semantics exactly: the cache marks any
-    // seq <= the last executed one as done, so a stale lower seq decided
-    // after a newer one in the SAME batch must be skipped too.
-    const bool duplicate_in_batch =
-        std::any_of(todo.begin(), todo.end(), [&](const paxos::Request* seen) {
-          return seen->client_id == request.client_id && seen->seq >= request.seq;
-        });
-    if (duplicate_in_batch) continue;
-    todo.push_back(&request);
-  }
+void ServiceManager::run_parallel_segment(std::vector<const paxos::Request*>& todo) {
   if (todo.empty()) return;
-
   std::vector<Bytes> replies;
   executor_->execute(todo, replies);  // returns quiesced: every reply filled
 
@@ -117,11 +143,51 @@ void ServiceManager::execute_parallel(const std::vector<paxos::Request>& request
     shared_.executed_requests.fetch_add(1, std::memory_order_relaxed);
     client_io_.send_reply(todo[i]->client_id, todo[i]->seq, ReplyStatus::kOk, replies[i]);
   }
+  todo.clear();
+}
+
+void ServiceManager::execute_parallel(const std::vector<paxos::Request>& requests) {
+  // Dedup BEFORE dispatch: against the reply cache (double-decides across
+  // view changes) and within the batch (the serial path catches an
+  // intra-batch duplicate via its per-request cache check; here the cache
+  // is only updated after the segment executes, so check explicitly).
+  std::vector<const paxos::Request*> todo;
+  todo.reserve(requests.size());
+  for (const auto& request : requests) {
+    if (reply_cache_.executed(request.client_id, request.seq)) continue;
+    if (cross_partition(request)) {
+      // Flush what precedes the barrier point so the rendezvous sees this
+      // shard quiesced exactly at the cross-partition request.
+      run_parallel_segment(todo);
+      if (!wait_cross_partition(request)) return;  // shutting down
+      continue;
+    }
+    // Match the serial path's semantics exactly: the cache marks any
+    // seq <= the last executed one as done, so a stale lower seq decided
+    // after a newer one in the SAME batch must be skipped too.
+    const bool duplicate_in_batch =
+        std::any_of(todo.begin(), todo.end(), [&](const paxos::Request* seen) {
+          return seen->client_id == request.client_id && seen->seq >= request.seq;
+        });
+    if (duplicate_in_batch) continue;
+    todo.push_back(&request);
+  }
+  run_parallel_segment(todo);
 }
 
 void ServiceManager::maybe_snapshot(paxos::InstanceId instance) {
   if (config_.snapshot_interval_instances == 0) return;
   if ((instance + 1) % config_.snapshot_interval_instances != 0) return;
+
+  if (hooks_.barrier != nullptr) {
+    // Partitioned: snapshots are whole-replica manifests captured with
+    // every pipeline quiesced. Partition 0's instance count is the sole
+    // trigger so one interval yields one manifest, not P of them.
+    if (hooks_.index == 0 && hooks_.capture) {
+      hooks_.barrier->quiesce(hooks_.index, hooks_.capture);
+    }
+    return;
+  }
 
   // Batch-boundary quiesce point: execute_batch has returned, so no
   // execute() is in flight on any executor worker.
@@ -137,9 +203,31 @@ void ServiceManager::maybe_snapshot(paxos::InstanceId instance) {
   dispatcher_.try_push(LocalSnapshotEvent{instance + 1});
 }
 
+void ServiceManager::handle_install(const SnapshotInstallEvent& event) {
+  if (hooks_.barrier == nullptr) {
+    service_.install(event.state);
+    reply_cache_.install(event.reply_cache);
+    executed_instances_.store(event.next_instance, std::memory_order_relaxed);
+    return;
+  }
+  // Partitioned: the offer carries a whole-replica manifest; install it
+  // atomically across all pipelines at a quiesce cycle. A stale offer
+  // (this pipeline already past it — e.g. the engine's redundant
+  // InstallSnapshot after a sibling-driven install) is dropped here.
+  if (event.next_instance <= executed_instances_.load(std::memory_order_relaxed)) return;
+  if (hooks_.install) {
+    hooks_.barrier->quiesce(hooks_.index, [this, &event] { hooks_.install(event); });
+  }
+}
+
 std::shared_ptr<const paxos::SnapshotData> ServiceManager::latest_snapshot() const {
   std::lock_guard<std::mutex> guard(snapshot_mu_);
   return latest_snapshot_;
+}
+
+void ServiceManager::set_latest_snapshot(std::shared_ptr<const paxos::SnapshotData> snapshot) {
+  std::lock_guard<std::mutex> guard(snapshot_mu_);
+  latest_snapshot_ = std::move(snapshot);
 }
 
 }  // namespace mcsmr::smr

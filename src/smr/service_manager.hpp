@@ -18,6 +18,14 @@
 //              producer, and snapshots are taken only between batches
 //              (quiesced — no execute() in flight).
 //
+// Partitioned replicas (num_partitions > 1) run one ServiceManager per
+// pipeline over that pipeline's shard. The PartitionHooks wire in the
+// cross-partition pieces: requests the router calls cross-partition park
+// at the CrossPartitionBarrier until every pipeline reaches a request
+// boundary (see smr/partition.hpp for the execution-order contract), and
+// snapshots become whole-replica manifests captured/installed at barrier
+// quiesce cycles (capture is triggered by partition 0's instance count).
+//
 // Exactly-once: a request already recorded as executed (its seq <= the
 // client's cached seq) is skipped — this absorbs the rare double-decide of
 // a retried request across a view change. The parallel path additionally
@@ -25,6 +33,7 @@
 // free from its per-request cache check).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
 
@@ -33,17 +42,33 @@
 #include "smr/client_io.hpp"
 #include "smr/events.hpp"
 #include "smr/executor.hpp"
+#include "smr/partition.hpp"
 #include "smr/reply_cache.hpp"
 #include "smr/service.hpp"
 #include "smr/shared_state.hpp"
 
 namespace mcsmr::smr {
 
+/// Cross-partition wiring for one pipeline's ServiceManager. Default
+/// (null barrier/router) = the single-pipeline replica; every partitioned
+/// code path is off and behavior is exactly the pre-partitioning one.
+struct PartitionHooks {
+  std::uint32_t index = 0;
+  CrossPartitionBarrier* barrier = nullptr;
+  const PartitionRouter* router = nullptr;
+  /// Build the stitched manifest and distribute it to every partition's
+  /// snapshot slot (runs at a quiesce cycle; provided by the Replica).
+  std::function<void()> capture;
+  /// Install a received manifest across all partitions (runs at a quiesce
+  /// cycle; provided by the Replica).
+  std::function<void(const SnapshotInstallEvent&)> install;
+};
+
 class ServiceManager {
  public:
   ServiceManager(const Config& config, DecisionQueue& decisions, Service& service,
                  ReplyCache& reply_cache, ClientIo& client_io, DispatcherQueue& dispatcher,
-                 SharedState& shared);
+                 SharedState& shared, PartitionHooks hooks = {});
   ~ServiceManager();
 
   void start();
@@ -52,9 +77,15 @@ class ServiceManager {
   /// Latest snapshot, if any (read on the Protocol thread through the
   /// engine's snapshot provider hook).
   std::shared_ptr<const paxos::SnapshotData> latest_snapshot() const;
+  /// Replica-level manifest capture/install write the slot directly.
+  void set_latest_snapshot(std::shared_ptr<const paxos::SnapshotData> snapshot);
 
   std::uint64_t executed_instances() const {
     return executed_instances_.load(std::memory_order_relaxed);
+  }
+  /// Whole-replica manifest install fast-forwards sibling pipelines.
+  void set_executed_instances(std::uint64_t next_instance) {
+    executed_instances_.store(next_instance, std::memory_order_relaxed);
   }
 
   /// The parallel executor, if one is configured (benches/tests).
@@ -63,9 +94,19 @@ class ServiceManager {
  private:
   void run();
   void execute_batch(paxos::InstanceId instance, const Bytes& batch);
+  /// Advance executed_instances_ past `instance` (monotonic — a manifest
+  /// install may already have moved it further).
+  void mark_instance_consumed(paxos::InstanceId instance);
   void execute_serial(const std::vector<paxos::Request>& requests);
   void execute_parallel(const std::vector<paxos::Request>& requests);
+  void run_parallel_segment(std::vector<const paxos::Request*>& todo);
   void maybe_snapshot(paxos::InstanceId instance);
+  void handle_install(const SnapshotInstallEvent& event);
+  void maybe_help_barrier();
+  bool cross_partition(const paxos::Request& request) const;
+  /// Park at the barrier until `request` is executed (by whichever cycle
+  /// closes with it as partition 0's head). False = shutting down.
+  bool wait_cross_partition(const paxos::Request& request);
 
   const Config& config_;
   DecisionQueue& decisions_;
@@ -74,6 +115,7 @@ class ServiceManager {
   ClientIo& client_io_;
   DispatcherQueue& dispatcher_;
   SharedState& shared_;
+  PartitionHooks hooks_;
 
   std::unique_ptr<ParallelExecutor> executor_;  ///< null when serial
 

@@ -9,7 +9,24 @@ namespace {
 /// Key-hash for classify(): any deterministic per-process hash works
 /// (collisions over-serialize, never under-serialize).
 std::uint64_t key_hash(const std::string& key) { return std::hash<std::string>{}(key); }
+
+/// All ACQUIREs share this pseudo-key: granting consumes the fencing
+/// counter, so acquire order must match decided order on every replica.
+/// The leading NUL (explicit length — the char* ctor would truncate)
+/// keeps the sentinel out of the space of client-suppliable lock names.
+std::uint64_t fencing_counter_key() {
+  static const std::uint64_t key = key_hash(std::string("\0LockService.fencing", 20));
+  return key;
+}
 }  // namespace
+
+// --- Service (defaults) ------------------------------------------------------
+
+Bytes Service::execute_global(const Bytes& request, const ShardView& shards) {
+  const RequestClass cls = classify(request);
+  const std::uint32_t target = cls.keys.empty() ? 0 : shards.shard_for(cls.keys[0]);
+  return shards.shard(target).execute(request);
+}
 
 // --- NullService -------------------------------------------------------------
 
@@ -216,12 +233,6 @@ Bytes LockService::execute(const Bytes& request) {
 }
 
 RequestClass LockService::classify(const Bytes& request) const {
-  // All ACQUIREs share this pseudo-key: granting consumes the fencing
-  // counter, so acquire order must match decided order on every replica.
-  // The leading NUL (explicit length — the char* ctor would truncate)
-  // keeps the sentinel out of the space of client-suppliable lock names.
-  static const std::uint64_t kFencingCounterKey =
-      key_hash(std::string("\0LockService.fencing", 20));
   try {
     ByteReader reader(request);
     const auto op = static_cast<Op>(reader.u8());
@@ -229,11 +240,58 @@ RequestClass LockService::classify(const Bytes& request) const {
     switch (op) {
       case Op::kCheck: return RequestClass::read(key_hash(name));
       case Op::kRelease: return RequestClass::write(key_hash(name));
-      case Op::kAcquire: return {{key_hash(name), kFencingCounterKey}, false, false};
+      case Op::kAcquire: return {{key_hash(name), fencing_counter_key()}, false, false};
     }
   } catch (const DecodeError&) {
   }
   return RequestClass{};  // malformed / unknown op: serialize (global)
+}
+
+Bytes LockService::execute_global(const Bytes& request, const ShardView& shards) {
+  try {
+    ByteReader reader(request);
+    const auto op = static_cast<Op>(reader.u8());
+    std::string name = reader.str();
+    if (op == Op::kAcquire) {
+      const std::uint64_t owner = reader.u64();
+      auto* name_shard =
+          dynamic_cast<LockService*>(&shards.shard(shards.shard_for(key_hash(name))));
+      auto* counter_shard =
+          dynamic_cast<LockService*>(&shards.shard(shards.shard_for(fencing_counter_key())));
+      if (name_shard == nullptr || counter_shard == nullptr) {
+        return Service::execute_global(request, shards);  // heterogeneous shards?
+      }
+      if (name_shard == counter_shard) return name_shard->execute(request);
+
+      // The lock entry lives on the name shard, the token source on the
+      // counter shard. Both are quiesced; the mutexes still guard against
+      // cross-thread held_locks()/snapshot() probes (scoped_lock's
+      // deadlock-free acquisition covers the two-mutex case).
+      std::scoped_lock guard(counter_shard->mu_, name_shard->mu_);
+      ByteWriter writer(17);
+      auto it = name_shard->locks_.find(name);
+      if (it == name_shard->locks_.end()) {
+        const std::uint64_t token = counter_shard->next_fencing_token_++;
+        name_shard->locks_[std::move(name)] = Lock{owner, token};
+        writer.u8(1);
+        writer.u64(token);
+      } else if (it->second.owner == owner) {
+        writer.u8(1);  // re-entrant: same owner keeps its token
+        writer.u64(it->second.fencing_token);
+      } else {
+        writer.u8(0);
+        writer.u64(0);
+      }
+      return writer.take();
+    }
+    // CHECK/RELEASE are single-key and normally routed directly; if one
+    // lands here, run it on its name shard.
+    return shards.shard(shards.shard_for(key_hash(name))).execute(request);
+  } catch (const DecodeError&) {
+    ByteWriter writer(1);
+    writer.u8(0xFF);  // malformed request, same reply as execute()
+    return writer.take();
+  }
 }
 
 Bytes LockService::snapshot() const {

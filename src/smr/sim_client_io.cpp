@@ -6,18 +6,27 @@ namespace mcsmr::smr {
 
 SimClientIo::SimClientIo(const Config& config, net::SimNetwork& net, net::NodeId self_node,
                          RequestQueue& requests, ReplyCache& reply_cache, SharedState& shared)
+    : SimClientIo(config, net, self_node, {RequestGate::Intake{&requests, &reply_cache}},
+                  nullptr, shared) {}
+
+SimClientIo::SimClientIo(const Config& config, net::SimNetwork& net, net::NodeId self_node,
+                         std::vector<RequestGate::Intake> intakes,
+                         const PartitionRouter* router, SharedState& shared)
     : config_(config), net_(net), self_node_(self_node),
-      gate_(config, requests, reply_cache, shared), shared_(shared),
+      gate_(config, std::move(intakes), router, shared), shared_(shared),
       io_threads_(config.client_io_threads < 1 ? 1 : config.client_io_threads),
       ring_replies_(config.queue_impl == QueueImpl::kRing),
       wake_pending_(std::make_unique<std::atomic<bool>[]>(
           static_cast<std::size_t>(io_threads_))) {
   if (ring_replies_) {
+    // Single pipeline: the ServiceManager thread is the only producer of
+    // IO thread t's ring (SPSC). Partitioned: every pipeline's Service
+    // Manager produces, so the ring goes multi-producer.
+    const QueueBackend backend =
+        backend_for(config.queue_impl, /*fan_in=*/config.num_partitions > 1);
     for (int t = 0; t < io_threads_; ++t) {
-      // SPSC: the ServiceManager thread is the only producer, IO thread t
-      // the only consumer.
       reply_queues_.push_back(std::make_unique<PipelineQueue<ClientReplyFrame>>(
-          QueueBackend::kSpsc, config.reply_queue_cap,
+          backend, config.reply_queue_cap,
           "ReplyQueue-" + std::to_string(t), config.queue_spin_budget));
     }
   }

@@ -27,8 +27,15 @@ namespace mcsmr::smr {
 
 class SimClientIo : public ClientIo {
  public:
+  /// Single-pipeline convenience (legacy signature).
   SimClientIo(const Config& config, net::SimNetwork& net, net::NodeId self_node,
               RequestQueue& requests, ReplyCache& reply_cache, SharedState& shared);
+  /// One intake per partition; `router` may be null for a single pipeline.
+  /// With several pipelines the reply rings get one producer per
+  /// ServiceManager, so the ring backend switches from SPSC to MPMC.
+  SimClientIo(const Config& config, net::SimNetwork& net, net::NodeId self_node,
+              std::vector<RequestGate::Intake> intakes, const PartitionRouter* router,
+              SharedState& shared);
   ~SimClientIo() override;
 
   void start() override;

@@ -1,9 +1,20 @@
 #include "smr/swarm.hpp"
 
 #include "common/clock.hpp"
+#include "smr/service.hpp"
 #include "smr/transport.hpp"
 
 namespace mcsmr::smr {
+
+namespace {
+/// splitmix64: deterministic per-(client, seq) draw for the kKv workload.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+}  // namespace
 
 ClientSwarm::ClientSwarm(net::SimNetwork& net, std::vector<net::NodeId> replica_nodes,
                          Params params)
@@ -37,9 +48,25 @@ void ClientSwarm::stop() {
   threads_.clear();  // joins
 }
 
+Bytes ClientSwarm::make_payload(const LogicalClient& client) const {
+  if (params_.workload == Workload::kNull) return Bytes(params_.payload_bytes, 0x5A);
+  // kKv: key and value are pure functions of (client id, seq) so a retry
+  // resends byte-identical bytes (same route, same reply-cache identity).
+  const std::uint64_t draw = mix(client.id * 0x100000001B3ull + client.seq);
+  const bool hot =
+      params_.kv_conflict_pct > 0 &&
+      static_cast<int>(draw % 100) < params_.kv_conflict_pct;
+  const std::string key =
+      hot ? "hot"
+          : "k" + std::to_string(mix(draw) %
+                                 static_cast<std::uint64_t>(
+                                     params_.kv_keys > 0 ? params_.kv_keys : 1));
+  return KvService::make_put(key,
+                             Bytes(params_.payload_bytes, static_cast<std::uint8_t>(client.seq)));
+}
+
 void ClientSwarm::send_request(Worker& worker, LogicalClient& client) {
-  ClientRequestFrame frame{client.id, client.seq, worker.node,
-                           Bytes(params_.payload_bytes, 0x5A)};
+  ClientRequestFrame frame{client.id, client.seq, worker.node, make_payload(client)};
   const net::Channel channel =
       kClientIoChannelBase +
       static_cast<net::Channel>(client.id % static_cast<std::uint64_t>(params_.io_threads));

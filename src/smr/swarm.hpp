@@ -22,12 +22,24 @@ namespace mcsmr::smr {
 
 class ClientSwarm {
  public:
+  /// What each logical client sends:
+  ///   kNull — opaque fixed-size payloads (the paper's workload; only the
+  ///           ordering path is exercised, NullService discards them);
+  ///   kKv   — KvService PUTs with a keyed footprint, so the executor and
+  ///           the partitioned pipelines see real conflicts. The payload
+  ///           is a pure function of (client id, seq): a retry carries
+  ///           byte-identical bytes, which keeps routing and dedup stable.
+  enum class Workload { kNull, kKv };
+
   struct Params {
     int workers = 6;             ///< client machines (paper: 6)
     int clients_per_worker = 300;  ///< logical clients each (paper: 1800 total)
     std::size_t payload_bytes = 128;
     int io_threads = 3;          ///< must match replicas' client_io_threads
     std::uint64_t retry_timeout_ns = 1'000'000'000;
+    Workload workload = Workload::kNull;
+    int kv_keys = 1024;       ///< key-space size (kKv)
+    int kv_conflict_pct = 0;  ///< % of requests hitting one hot key (kKv)
   };
 
   ClientSwarm(net::SimNetwork& net, std::vector<net::NodeId> replica_nodes, Params params);
@@ -59,6 +71,7 @@ class ClientSwarm {
 
   void worker_loop(int index);
   void send_request(Worker& worker, LogicalClient& client);
+  Bytes make_payload(const LogicalClient& client) const;
 
   net::SimNetwork& net_;
   std::vector<net::NodeId> replica_nodes_;

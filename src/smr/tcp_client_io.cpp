@@ -13,7 +13,13 @@ namespace mcsmr::smr {
 
 TcpClientIo::TcpClientIo(const Config& config, std::uint16_t port, RequestQueue& requests,
                          ReplyCache& reply_cache, SharedState& shared)
-    : config_(config), gate_(config, requests, reply_cache, shared), shared_(shared),
+    : TcpClientIo(config, port, {RequestGate::Intake{&requests, &reply_cache}}, nullptr,
+                  shared) {}
+
+TcpClientIo::TcpClientIo(const Config& config, std::uint16_t port,
+                         std::vector<RequestGate::Intake> intakes,
+                         const PartitionRouter* router, SharedState& shared)
+    : config_(config), gate_(config, std::move(intakes), router, shared), shared_(shared),
       io_threads_(config.client_io_threads < 1 ? 1 : config.client_io_threads),
       ring_replies_(config.queue_impl == QueueImpl::kRing),
       wake_pending_(std::make_unique<std::atomic<bool>[]>(
@@ -21,13 +27,16 @@ TcpClientIo::TcpClientIo(const Config& config, std::uint16_t port, RequestQueue&
   listener_ = net::TcpListener::bind(port);
   loops_.reserve(static_cast<std::size_t>(io_threads_));
   conns_.resize(static_cast<std::size_t>(io_threads_));
+  // Single pipeline: the ServiceManager thread is the only producer of a
+  // loop's ring (SPSC). Partitioned: every pipeline's ServiceManager
+  // produces, so the ring goes multi-producer.
+  const QueueBackend backend =
+      backend_for(config.queue_impl, /*fan_in=*/config.num_partitions > 1);
   for (int t = 0; t < io_threads_; ++t) {
     loops_.push_back(std::make_unique<net::EventLoop>());
     if (ring_replies_) {
-      // SPSC: the ServiceManager thread is the only producer, loop thread
-      // t the only consumer.
       reply_queues_.push_back(std::make_unique<PipelineQueue<PendingReply>>(
-          QueueBackend::kSpsc, config.reply_queue_cap,
+          backend, config.reply_queue_cap,
           "ReplyQueue-" + std::to_string(t), config.queue_spin_budget));
     }
     wake_pending_[static_cast<std::size_t>(t)].store(false, std::memory_order_relaxed);

@@ -35,9 +35,16 @@ namespace mcsmr::smr {
 
 class TcpClientIo : public ClientIo {
  public:
-  /// Binds 127.0.0.1:`port` (0 = ephemeral; see port()).
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; see port()). Single-pipeline
+  /// convenience (legacy signature).
   TcpClientIo(const Config& config, std::uint16_t port, RequestQueue& requests,
               ReplyCache& reply_cache, SharedState& shared);
+  /// One intake per partition; `router` may be null for a single pipeline.
+  /// With several pipelines the reply rings get one producer per
+  /// ServiceManager, so the ring backend switches from SPSC to MPMC.
+  TcpClientIo(const Config& config, std::uint16_t port,
+              std::vector<RequestGate::Intake> intakes, const PartitionRouter* router,
+              SharedState& shared);
   ~TcpClientIo() override;
 
   bool valid() const { return listener_.has_value(); }

@@ -76,6 +76,73 @@ TEST_P(ChaosTest, LossyLinksConvergeToIdenticalState) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest, ::testing::Values(11u, 22u, 33u));
 
+TEST(ChaosTest, KillAndRecoverInstallsSnapshotMidTraffic) {
+  // A replica dies, misses enough decided instances that its peers have
+  // pruned their logs (aggressive snapshots), and is restarted EMPTY
+  // while keyed traffic keeps flowing: recovery must go through a
+  // snapshot install — the stitched multi-partition manifest in the
+  // _partitioned variants — and end byte-identical to the survivors.
+  // The CTest matrix (serial / parallel / partitioned) runs this same
+  // scenario through every execution shape.
+  Config config;
+  config.snapshot_interval_instances = 8;
+  config.retransmit_timeout_ns = 100 * kMillis;
+  config.catchup_interval_ns = 100 * kMillis;
+  SimCluster cluster(config, testing::fast_net(),
+                     [] { return std::make_unique<KvService>(); });
+  cluster.start();
+  auto leader = cluster.wait_for_leader();
+  ASSERT_TRUE(leader.has_value());
+  const ReplicaId victim = (*leader + 1) % 3;  // a follower: traffic keeps flowing
+
+  std::atomic<bool> running{true};
+  std::atomic<int> completed{0};
+  std::thread driver([&] {
+    auto client = cluster.make_client(71);
+    for (int i = 0; running.load(std::memory_order_relaxed); ++i) {
+      const std::string key = "k" + std::to_string(i % 24);
+      if (client.call(KvService::make_put(key, Bytes{static_cast<std::uint8_t>(i)}))) {
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  auto wait_completed = [&](int target) {
+    const std::uint64_t deadline = mono_ns() + 20 * kSeconds;
+    while (mono_ns() < deadline && completed.load() < target) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return completed.load() >= target;
+  };
+
+  ASSERT_TRUE(wait_completed(40)) << "no progress before the crash";
+  cluster.crash(victim);
+  // Far enough past several snapshot cuts that catch-up cannot be served
+  // from the survivors' pruned logs alone.
+  ASSERT_TRUE(wait_completed(completed.load() + 200)) << "progress stalled after the crash";
+  cluster.restart(victim);
+
+  ASSERT_TRUE(wait_completed(completed.load() + 100)) << "progress stalled after recovery";
+  running.store(false);
+  driver.join();
+
+  // The recovered replica must converge to the survivors' stitched state
+  // (identical across every partition count and executor).
+  const std::uint64_t deadline = mono_ns() + 20 * kSeconds;
+  auto converged = [&] {
+    const Bytes m0 = cluster.replica(0).state_manifest();
+    return m0 == cluster.replica(1).state_manifest() &&
+           m0 == cluster.replica(2).state_manifest() && !m0.empty();
+  };
+  while (mono_ns() < deadline && !converged()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(converged()) << "recovered replica did not converge";
+  EXPECT_GT(cluster.replica(victim).executed_requests() +
+                cluster.replica(victim).decided_instances(),
+            0u)
+      << "recovered replica made no progress at all";
+}
+
 TEST(ChaosTest, SwarmSurvivesLeaderChangeMidLoad) {
   Config config;
   config.fd_suspect_timeout_ns = 300 * kMillis;

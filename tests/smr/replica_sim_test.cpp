@@ -185,13 +185,20 @@ TEST(ReplicaSim, SnapshotStateTransferToDarkReplica) {
   cluster.net().set_partition(cluster.nodes()[2], cluster.nodes()[0], false);
   cluster.net().set_partition(cluster.nodes()[2], cluster.nodes()[1], false);
 
-  // Replica 2 must converge (via snapshot install and/or catch-up).
+  // Replica 2 must converge (via snapshot install and/or catch-up). The
+  // keys are sharded across partitions, so count every shard.
+  auto total_keys = [&] {
+    std::size_t total = 0;
+    for (std::uint32_t p = 0; p < cluster.replica(2).num_partitions(); ++p) {
+      total += dynamic_cast<KvService&>(cluster.replica(2).service(p)).size();
+    }
+    return total;
+  };
   const std::uint64_t deadline = mono_ns() + 15 * kSeconds;
-  auto& kv2 = dynamic_cast<KvService&>(cluster.replica(2).service());
-  while (mono_ns() < deadline && kv2.size() < 60) {
+  while (mono_ns() < deadline && total_keys() < 60) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
-  EXPECT_GE(kv2.size(), 60u) << "state transfer did not converge";
+  EXPECT_GE(total_keys(), 60u) << "state transfer did not converge";
 }
 
 TEST(ReplicaSim, SwarmDrivesThroughput) {
@@ -243,8 +250,10 @@ TEST(ReplicaSim, FlowControlBoundsQueues) {
   }
   swarm.stop();
 
-  EXPECT_LE(max_request_queue, config.request_queue_cap);
-  EXPECT_LE(max_proposal_queue, config.proposal_queue_cap);
+  // The bound is per pipeline; the accessors aggregate over partitions.
+  const std::uint64_t partitions = cluster.config().num_partitions;
+  EXPECT_LE(max_request_queue, config.request_queue_cap * partitions);
+  EXPECT_LE(max_proposal_queue, config.proposal_queue_cap * partitions);
   EXPECT_GT(swarm.completed(), 100u) << "system starved under backpressure";
 }
 

@@ -1,11 +1,12 @@
 // Integration-test fixture: a full SimNet cluster of real threaded
 // replicas plus helper accessors.
 //
-// Two environment variables parameterize every cluster built here, and
+// Three environment variables parameterize every cluster built here, and
 // tests/CMakeLists.txt registers the replica_sim and chaos binaries extra
 // times with them set, so tier-1 exercises the full matrix:
 //   MCSMR_QUEUE_IMPL    ("mutex" | "ring")      -> Config::queue_impl
 //   MCSMR_EXECUTOR_IMPL ("serial" | "parallel") -> Config::executor_impl
+//   MCSMR_PARTITIONS    ("1", "2", ...)         -> Config::num_partitions
 #pragma once
 
 #include <cstdlib>
@@ -20,13 +21,17 @@
 
 namespace mcsmr::smr::testing {
 
-/// Apply the MCSMR_QUEUE_IMPL / MCSMR_EXECUTOR_IMPL overrides (if set).
+/// Apply the MCSMR_QUEUE_IMPL / MCSMR_EXECUTOR_IMPL / MCSMR_PARTITIONS
+/// overrides (if set).
 inline Config apply_queue_impl_env(Config config) {
   if (const char* impl = std::getenv("MCSMR_QUEUE_IMPL")) {
     config.apply_overrides({{"queue_impl", impl}});
   }
   if (const char* impl = std::getenv("MCSMR_EXECUTOR_IMPL")) {
     config.apply_overrides({{"executor_impl", impl}});
+  }
+  if (const char* partitions = std::getenv("MCSMR_PARTITIONS")) {
+    config.apply_overrides({{"num_partitions", partitions}});
   }
   return config;
 }
@@ -45,13 +50,15 @@ class SimCluster {
 
   explicit SimCluster(Config config, net::SimNetParams net_params = fast_net(),
                       ServiceFactory factory = [] { return std::make_unique<NullService>(); })
-      : config_(apply_queue_impl_env(config)), net_(net_params) {
+      : config_(apply_queue_impl_env(config)), net_(net_params), factory_(std::move(factory)) {
     for (int id = 0; id < config_.n; ++id) {
       nodes_.push_back(net_.add_node("replica-" + std::to_string(id)));
     }
     for (int id = 0; id < config_.n; ++id) {
+      // The factory is invoked once per partition inside create_sim, so
+      // each pipeline gets its own shard instance.
       replicas_.push_back(Replica::create_sim(config_, static_cast<ReplicaId>(id), net_,
-                                              nodes_, factory()));
+                                              nodes_, Replica::ServiceFactory(factory_)));
     }
   }
 
@@ -72,6 +79,24 @@ class SimCluster {
   /// Kill one replica (stops its threads; peers see silence).
   void crash(ReplicaId id) {
     replicas_[id]->stop();
+  }
+
+  /// Bring a crashed replica back with EMPTY state on the same SimNet
+  /// node (the kill-and-recover scenario: it must catch up via the log or
+  /// a snapshot install). Reopens the node's inboxes first — close() is
+  /// permanent on the old incarnation's queues.
+  void restart(ReplicaId id) {
+    replicas_[id].reset();  // joins any remaining threads
+    for (int from = 0; from < config_.n; ++from) {
+      if (static_cast<ReplicaId>(from) == id) continue;
+      net_.reset_inbox(nodes_[id], kPeerChannelBase + static_cast<net::Channel>(from));
+    }
+    for (int t = 0; t < config_.client_io_threads; ++t) {
+      net_.reset_inbox(nodes_[id], kClientIoChannelBase + static_cast<net::Channel>(t));
+    }
+    replicas_[id] = Replica::create_sim(config_, id, net_, nodes_,
+                                        Replica::ServiceFactory(factory_));
+    replicas_[id]->start();
   }
 
   /// Wait until some replica claims leadership; returns its id.
@@ -98,6 +123,7 @@ class SimCluster {
  private:
   Config config_;
   net::SimNetwork net_;
+  ServiceFactory factory_;
   std::vector<net::NodeId> nodes_;
   std::vector<std::unique_ptr<Replica>> replicas_;
 };
