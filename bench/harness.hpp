@@ -8,9 +8,13 @@
 //             core counts this host does not have.
 #pragma once
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -71,6 +75,15 @@ struct RealRunResult {
   std::vector<metrics::ThreadStateSnapshot> leader_threads;  // r0/ threads
 };
 
+/// A fresh process-unique segment-log directory under the system temp dir.
+inline std::string unique_bench_log_dir() {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t id = counter.fetch_add(1, std::memory_order_relaxed);
+  return (std::filesystem::temp_directory_path() /
+          ("mcsmr-bench-" + std::to_string(::getpid()) + "-" + std::to_string(id)))
+      .string();
+}
+
 /// Run one real experiment on SimNet and measure everything the paper's
 /// tables and figures report.
 inline RealRunResult run_real(const RealRunParams& params) {
@@ -81,6 +94,14 @@ inline RealRunResult run_real(const RealRunParams& params) {
 
   net::SimNetwork network(params.net);
   Config config = params.config;
+  // Segment storage: isolate each run's log files in a fresh temp dir —
+  // reopening a previous run's (or repeat's) logs would make the replicas
+  // start mid-history and corrupt the measurement.
+  std::string owned_log_dir;
+  if (config.log_storage == StorageImpl::kSegment && config.log_dir == Config{}.log_dir) {
+    owned_log_dir = unique_bench_log_dir();
+    config.log_dir = owned_log_dir;
+  }
 
   std::vector<net::NodeId> nodes;
   for (int id = 0; id < config.n; ++id) {
@@ -208,6 +229,11 @@ inline RealRunResult run_real(const RealRunParams& params) {
   swarm.stop();
   for (auto& replica : replicas) replica->stop();
   for (auto& replica : zk_replicas) replica->stop();
+  if (!owned_log_dir.empty()) {
+    replicas.clear();  // close segment files before deleting them
+    std::error_code ec;
+    std::filesystem::remove_all(owned_log_dir, ec);
+  }
 
   if (params.cores > 0) unpin_process();
   return result;
@@ -242,6 +268,11 @@ inline RealRunResult run_real(RealRunParams params, const BenchArgs& args) {
   // (bench_ablation_partitions sweeps it; every driver accepts it).
   if (args.partitions > 0) {
     params.config.apply_overrides({{"num_partitions", std::to_string(args.partitions)}});
+  }
+  // --storage memory|segment: the durable-WAL A/B knob (bench_recovery
+  // compares restart-from-disk against restart-empty).
+  if (!args.storage_impl.empty()) {
+    params.config.apply_overrides({{"log_storage", args.storage_impl}});
   }
   // --workload kv [--keys N --conflict P]: keyed swarm traffic through a
   // KvService so the executor and the partitions see real conflicts.

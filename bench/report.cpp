@@ -165,6 +165,7 @@ namespace {
       "  --executor IMPL execution strategy: serial or parallel\n"
       "  --workers N     parallel-executor worker threads\n"
       "  --partitions N  partitioned SMR pipelines (Config::num_partitions)\n"
+      "  --storage IMPL  Paxos log storage: memory or segment\n"
       "  --workload W    swarm workload: null or kv (keyed PUT traffic)\n"
       "  --keys N        kv workload key-space size\n"
       "  --conflict P    kv workload %% of requests hitting one hot key\n"
@@ -260,6 +261,13 @@ BenchArgs BenchArgs::parse(int& argc, char** argv, std::string figure) {
       if (args.partitions < 1) {
         std::fprintf(stderr, "error: --partitions wants a positive integer, got '%s'\n",
                      partitions_v);
+        std::exit(2);
+      }
+    } else if (const char* storage_v = flag_value("--storage", argc, argv, i)) {
+      args.storage_impl = storage_v;
+      if (args.storage_impl != "memory" && args.storage_impl != "segment") {
+        std::fprintf(stderr, "error: --storage wants memory or segment, got '%s'\n",
+                     storage_v);
         std::exit(2);
       }
     } else if (const char* workload_v = flag_value("--workload", argc, argv, i)) {
@@ -405,6 +413,7 @@ BenchReport::BenchReport(const BenchArgs& args, std::string title)
     env("executor_workers", static_cast<std::int64_t>(args_.executor_workers));
   }
   if (args_.partitions > 0) env("partitions", static_cast<std::int64_t>(args_.partitions));
+  if (!args_.storage_impl.empty()) env("log_storage", args_.storage_impl);
   if (!args_.workload.empty()) env("workload", args_.workload);
   if (args_.kv_keys > 0) env("kv_keys", static_cast<std::int64_t>(args_.kv_keys));
   if (args_.kv_conflict_pct >= 0) {

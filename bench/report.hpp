@@ -21,6 +21,8 @@
 //   --workers N     parallel-executor worker threads (Config::executor_workers)
 //   --partitions N  partitioned SMR pipelines (Config::num_partitions;
 //                   bench_ablation_partitions sweeps it)
+//   --storage IMPL  Paxos log storage: memory or segment
+//                   (Config::log_storage; bench_recovery A-Bs the two)
 //   --workload W    swarm workload: null (paper default) or kv
 //   --keys N        kv workload key-space size
 //   --conflict P    kv workload hot-key percentage [0, 100]
@@ -97,6 +99,7 @@ struct BenchArgs {
   std::string executor_impl;  ///< "" = config default, else "serial"/"parallel"
   int executor_workers = 0;   ///< 0 = config default
   int partitions = 0;         ///< 0 = config default (Config::num_partitions)
+  std::string storage_impl;   ///< "" = config default, else "memory"/"segment"
   std::string workload;       ///< "" = driver default, else "null"/"kv"
   int kv_keys = 0;            ///< 0 = default key space (kv workload)
   int kv_conflict_pct = -1;   ///< -1 = default (kv workload hot-key share)

@@ -10,11 +10,15 @@ Directory mode diffs every BENCH_*.json present in BOTH directories
 that is what the bench-smoke CI job runs over the baselines directory.
 
 Matches series by name and points by (x, label), then compares every
-series whose metric is in --metrics (default: throughput, item_rate).
-A point REGRESSES when the new mean is below the old mean by more than
---sigma combined standard errors:
+series whose metric is in --metrics (default: throughput, item_rate,
+recovery_time). A point REGRESSES when the new mean is worse than the
+old mean by more than --sigma combined standard errors:
 
     new.y < old.y - sigma * sqrt(old.stderr^2 + new.stderr^2)
+
+"Worse" is direction-aware: most metrics are higher-is-better, but for
+the metrics in LOWER_BETTER (recovery_time, latency, rtt) a regression
+is the new mean rising above the old one.
 
 When neither file carries stderr (single-run data), the guard falls back
 to a relative threshold (--rel-threshold, default 10%): noise without
@@ -36,6 +40,9 @@ import json
 import math
 import os
 import sys
+
+# Metrics where a LOWER value is better; the regression test flips sign.
+LOWER_BETTER = {"recovery_time", "latency", "rtt"}
 
 
 def load(path):
@@ -108,13 +115,15 @@ def compare(old_doc, new_doc, args):
             else:
                 threshold = args.rel_threshold * abs(old_y)
             delta = new_y - old_y
+            # Signed "gain": positive = better, whichever direction that is.
+            gain = -delta if old.get("metric") in LOWER_BETTER else delta
             line = (f"{where}: {fmt(old_y)} -> {fmt(new_y)} "
                     f"({delta / old_y * 100.0 if old_y else 0.0:+.1f}%, "
                     f"threshold ±{fmt(threshold)})")
-            if delta < -threshold:
+            if gain < -threshold:
                 (regressions if gated else notes).append(
                     line if gated else f"model drift: {line}")
-            elif delta > threshold:
+            elif gain > threshold:
                 improvements.append(line)
 
     return regressions, improvements, notes
@@ -186,8 +195,10 @@ def main():
                         help="combined-stderr multiplier for the gate (default 2)")
     parser.add_argument("--rel-threshold", type=float, default=0.10,
                         help="relative threshold when no stderr is recorded (default 0.10)")
-    parser.add_argument("--metrics", nargs="+", default=["throughput", "item_rate"],
-                        help="series metrics to gate (default: throughput item_rate)")
+    parser.add_argument("--metrics", nargs="+",
+                        default=["throughput", "item_rate", "recovery_time"],
+                        help="series metrics to gate "
+                             "(default: throughput item_rate recovery_time)")
     parser.add_argument("--gate-model", action="store_true",
                         help="treat [model] drift as a regression too")
     parser.add_argument("--warn-only", action="store_true",

@@ -108,6 +108,8 @@ def check_env(env, errors):
         errors.append("env: 'queue_impl' must be 'mutex' or 'ring'")
     if "executor_impl" in env and env["executor_impl"] not in ("serial", "parallel"):
         errors.append("env: 'executor_impl' must be 'serial' or 'parallel'")
+    if "log_storage" in env and env["log_storage"] not in ("memory", "segment"):
+        errors.append("env: 'log_storage' must be 'memory' or 'segment'")
     if "workload" in env and env["workload"] not in ("null", "kv"):
         errors.append("env: 'workload' must be 'null' or 'kv'")
 

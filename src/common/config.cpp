@@ -21,6 +21,10 @@ const char* to_string(ExecutorImpl impl) {
   return impl == ExecutorImpl::kSerial ? "serial" : "parallel";
 }
 
+const char* to_string(StorageImpl impl) {
+  return impl == StorageImpl::kMemory ? "memory" : "segment";
+}
+
 void Config::apply_overrides(const std::map<std::string, std::string>& overrides) {
   for (const auto& [key, value] : overrides) {
     if (key == "n") {
@@ -68,6 +72,22 @@ void Config::apply_overrides(const std::map<std::string, std::string>& overrides
       if (num_partitions < 1 || num_partitions > 64) {
         throw std::invalid_argument("num_partitions must be in [1, 64]");
       }
+    } else if (key == "log_storage" || key == "storage") {
+      if (value == "memory") {
+        log_storage = StorageImpl::kMemory;
+      } else if (value == "segment") {
+        log_storage = StorageImpl::kSegment;
+      } else {
+        throw std::invalid_argument("log_storage must be memory or segment, got: " + value);
+      }
+    } else if (key == "log_dir") {
+      if (value.empty()) throw std::invalid_argument("log_dir must not be empty");
+      log_dir = value;
+    } else if (key == "fsync_batch_ns") {
+      fsync_batch_ns = parse_u64(value);
+    } else if (key == "preexec_window") {
+      preexec_window = static_cast<std::uint32_t>(parse_u64(value));
+      if (preexec_window < 1) throw std::invalid_argument("preexec_window must be >= 1");
     } else {
       throw std::invalid_argument("unknown config key: " + key);
     }

@@ -38,6 +38,17 @@ enum class ExecutorImpl { kSerial, kParallel };
 
 const char* to_string(ExecutorImpl impl);
 
+/// Durable-log backend behind the Paxos engine (see paxos/storage.hpp):
+///   kMemory  — no persistence: a crash loses all acceptor state (the
+///              pre-durability behavior; default);
+///   kSegment — append-only CRC-framed segment files with group-commit
+///              batched fsync; acceptor promises/accepts and decided
+///              values are durable before the corresponding acks leave
+///              the replica, and a restarted replica recovers from disk.
+enum class StorageImpl { kMemory, kSegment };
+
+const char* to_string(StorageImpl impl);
+
 struct Config {
   // --- Cluster ---
   int n = 3;  ///< number of replicas; tolerates f = (n-1)/2 crashes
@@ -96,6 +107,19 @@ struct Config {
   /// Worker threads of the parallel executor (ignored when serial).
   std::size_t executor_workers = 2;
 
+  // --- Durable log (paxos/storage.hpp; ROADMAP open item 1) ---
+  StorageImpl log_storage = StorageImpl::kMemory;
+  /// Root directory for segment files; each (replica, partition) pair
+  /// writes under `<log_dir>/r<replica>/p<partition>`.
+  std::string log_dir = "mcsmr-logs";
+  /// Group-commit window of the segment flush thread: batch appends and
+  /// fsync at most once per window (0 = fsync every write burst).
+  std::uint64_t fsync_batch_ns = 1'000'000;
+  /// Pre-execution window: how many log records the proposer pipeline may
+  /// run ahead of the durable point before it stops pulling proposals
+  /// (libpaxos' proposer_preexec_window; irrelevant for memory storage).
+  std::uint32_t preexec_window = 128;
+
   // --- Workload shape (used by clients/benches; paper §VI) ---
   std::size_t request_payload_bytes = 128;
   std::size_t reply_payload_bytes = 8;
@@ -119,7 +143,8 @@ struct Config {
   /// proposal_queue_cap, request_payload_bytes, reply_payload_bytes,
   /// queue_impl (mutex|ring), queue_spin_budget,
   /// executor_impl (serial|parallel), executor_workers,
-  /// num_partitions (alias: partitions).
+  /// num_partitions (alias: partitions), log_storage (memory|segment),
+  /// log_dir, fsync_batch_ns, preexec_window.
   void apply_overrides(const std::map<std::string, std::string>& overrides);
 
   /// Parse overrides from argv-style "key=value" tokens.

@@ -6,13 +6,86 @@
 
 namespace mcsmr::paxos {
 
-Engine::Engine(const Config& config, ReplicaId self)
-    : config_(config), self_(self), rng_(0x5EEDull * (self + 1)) {}
+Engine::Engine(const Config& config, ReplicaId self, LogStorage* storage)
+    : config_(config), self_(self), rng_(0x5EEDull * (self + 1)) {
+  if (storage == nullptr) {
+    owned_storage_ = std::make_unique<MemoryStorage>();
+    storage_ = owned_storage_.get();
+  } else {
+    storage_ = storage;
+  }
+}
 
 void Engine::start(std::vector<Effect>& out) {
+  restore_from_storage(out);
   if (config_.leader_of_view(0) == self_) {
     become_candidate(out);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Durability + recovery
+// ---------------------------------------------------------------------------
+
+void Engine::persist_promise() {
+  if (!storage_->persistent()) return;
+  storage_->append(DurableRecord::promise(view_));
+}
+
+void Engine::persist_accept(InstanceId instance, ViewId view, const Bytes& value) {
+  if (!storage_->persistent()) return;
+  storage_->append(DurableRecord::accept(view, instance, Bytes(value)));
+}
+
+void Engine::persist_decide(InstanceId instance, const Bytes& value) {
+  if (!storage_->persistent()) return;
+  storage_->append(DurableRecord::decide(instance, Bytes(value)));
+}
+
+void Engine::persist_checkpoint(const SnapshotData& snapshot) {
+  if (!storage_->persistent()) return;
+  std::vector<DurableRecord> records;
+  records.push_back(DurableRecord::promise(view_));
+  records.push_back(DurableRecord::snapshot(snapshot.next_instance, Bytes(snapshot.state),
+                                            Bytes(snapshot.reply_cache)));
+  // Entries above the cut survive the rewrite: their acceptances (and any
+  // decisions not yet covered by the snapshot) are still protocol state.
+  for (InstanceId id = log_.base(); id < log_.end(); ++id) {
+    const LogEntry* e = log_.find(id);
+    if (e == nullptr || !e->has_value()) continue;
+    records.push_back(DurableRecord::accept(e->accepted_view, id, Bytes(e->value)));
+    if (e->decided()) records.push_back(DurableRecord::decide(id, Bytes(e->value)));
+  }
+  storage_->checkpoint(records);
+}
+
+void Engine::restore_from_storage(std::vector<Effect>& out) {
+  const RecoveredState& recovered = storage_->recovered();
+  if (recovered.empty()) return;
+
+  if (recovered.snapshot) {
+    const DurableRecord& snapshot = *recovered.snapshot;
+    log_.truncate_before(snapshot.instance);
+    next_deliver_ = snapshot.instance;
+    out.push_back(InstallSnapshot{snapshot.instance, snapshot.value, snapshot.reply_cache});
+  }
+  for (const auto& [id, entry] : recovered.entries) {
+    if (id < log_.base()) continue;
+    LogEntry& e = log_.entry(id);
+    e.state = InstanceState::kKnown;
+    e.accepted_view = entry.accepted_view;
+    e.value = entry.value;
+    if (entry.decided) log_.decide(id, Bytes(entry.value));
+  }
+  if (recovered.promised_view > view_) {
+    view_ = recovered.promised_view;
+    role_ = Role::kFollower;
+    out.push_back(ViewChanged{view_, false});
+  }
+  next_instance_ = std::max(next_instance_, log_.end());
+  // Re-emit the decided prefix: the host replays it into the service,
+  // which also rebuilds the reply cache (deterministic re-execution).
+  try_deliver(out);
 }
 
 void Engine::on_message(ReplicaId from, const Message& message, std::vector<Effect>& out) {
@@ -50,6 +123,7 @@ void Engine::adopt_view(ViewId view, std::vector<Effect>& out) {
   role_ = Role::kFollower;
   prepare_ok_mask_ = 0;
   prepare_union_.clear();
+  persist_promise();  // never answer a lower Prepare after a crash
   out.push_back(CancelAllRetransmits{});
   out.push_back(ViewChanged{view_, false});
 }
@@ -73,6 +147,7 @@ void Engine::become_candidate(std::vector<Effect>& out) {
   prepare_from_ = log_.first_undecided();
   prepare_ok_mask_ = bit(self_);
   prepare_union_.clear();
+  persist_promise();  // a candidacy is a promise to our own view
 
   // Seed the union with our own log suffix.
   for (InstanceId id = prepare_from_; id < log_.end(); ++id) {
@@ -183,6 +258,7 @@ void Engine::propose_now(InstanceId instance, Bytes value, std::vector<Effect>& 
     e.vote_mask = 0;
   }
   e.vote_mask |= bit(self_);
+  persist_accept(instance, view_, e.value);  // the proposal carries our acceptance
 
   Propose propose{view_, instance, e.value};
   out.push_back(ScheduleRetransmit{propose_retransmit_key(instance), propose});
@@ -205,6 +281,7 @@ void Engine::handle_propose(ReplicaId from, const Propose& m, std::vector<Effect
       e.state = InstanceState::kKnown;
       e.accepted_view = m.view;
       e.value = m.value;
+      persist_accept(m.instance, m.view, e.value);
     }
   }
 
@@ -245,6 +322,7 @@ void Engine::decide(InstanceId instance, std::vector<Effect>& out) {
   if (e == nullptr) return;
   Bytes value = e->value;
   if (!log_.decide(instance, std::move(value))) return;
+  persist_decide(instance, log_.find(instance)->value);
   out.push_back(CancelRetransmit{propose_retransmit_key(instance)});
   try_deliver(out);
 }
@@ -347,6 +425,8 @@ void Engine::handle_snapshot_offer(ReplicaId /*from*/, const SnapshotOffer& m,
   log_.truncate_before(m.next_instance);
   if (next_deliver_ < m.next_instance) next_deliver_ = m.next_instance;
   if (next_instance_ < m.next_instance) next_instance_ = m.next_instance;
+  // The installed snapshot replaces the truncated prefix on disk too.
+  persist_checkpoint(SnapshotData{m.next_instance, m.state, m.reply_cache});
   try_deliver(out);
 }
 
@@ -354,6 +434,14 @@ void Engine::on_local_snapshot(InstanceId next_instance) {
   // Keep a short tail above the snapshot so common catch-up queries can
   // still be served from the log instead of shipping full state.
   if (next_instance > log_.base()) log_.truncate_before(next_instance);
+  // Compact the durable log against the freshly captured snapshot. Without
+  // a provider the on-disk prefix must stay (it is the only copy of the
+  // decided history), so skip GC rather than lose state.
+  if (storage_->persistent() && snapshot_provider_) {
+    if (auto snapshot = snapshot_provider_()) {
+      if (snapshot->next_instance >= next_instance) persist_checkpoint(*snapshot);
+    }
+  }
 }
 
 }  // namespace mcsmr::paxos

@@ -41,6 +41,7 @@
 #include "common/rand.hpp"
 #include "paxos/log.hpp"
 #include "paxos/messages.hpp"
+#include "paxos/storage.hpp"
 
 namespace mcsmr::paxos {
 
@@ -99,11 +100,18 @@ struct SnapshotData {
 
 class Engine {
  public:
-  Engine(const Config& config, ReplicaId self);
+  /// `storage` persists acceptor/learner transitions (promise, accept,
+  /// decide, snapshot checkpoints); nullptr means a private MemoryStorage
+  /// (no durability — the pre-storage behavior, and the default for
+  /// engine-only tests). The engine appends but never waits: the host
+  /// gates outbound acks on LogStorage::durable_lsn (see ProtocolThread).
+  Engine(const Config& config, ReplicaId self, LogStorage* storage = nullptr);
 
   // --- Inputs (single caller: the Protocol thread) -------------------------
 
-  /// Initial kick: the leader of view 0 starts Phase 1.
+  /// Initial kick: restores any state the storage recovered from disk
+  /// (re-emitting InstallSnapshot/Deliver effects so the host rebuilds the
+  /// service), then the leader of view 0 starts Phase 1.
   void start(std::vector<Effect>& out);
 
   void on_message(ReplicaId from, const Message& message, std::vector<Effect>& out);
@@ -176,11 +184,25 @@ class Engine {
   /// Emit Deliver effects for the contiguous decided prefix.
   void try_deliver(std::vector<Effect>& out);
 
+  // Durability (no-ops on non-persistent storage, so the memory path pays
+  // nothing — not even the record construction).
+  void persist_promise();
+  void persist_accept(InstanceId instance, ViewId view, const Bytes& value);
+  void persist_decide(InstanceId instance, const Bytes& value);
+  /// Rewrite the durable log as {promise, snapshot, surviving entries} and
+  /// drop everything older (storage GC, tied to service snapshots).
+  void persist_checkpoint(const SnapshotData& snapshot);
+  /// Rebuild log/view state from what the storage recovered on open.
+  void restore_from_storage(std::vector<Effect>& out);
+
   static std::uint64_t bit(ReplicaId id) { return 1ull << id; }
 
   Config config_;
   ReplicaId self_;
   ReplicatedLog log_;
+
+  std::unique_ptr<LogStorage> owned_storage_;  ///< fallback MemoryStorage
+  LogStorage* storage_;  ///< never null; owned_storage_ or host-provided
 
   ViewId view_ = 0;
   Role role_ = Role::kFollower;

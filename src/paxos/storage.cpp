@@ -1,0 +1,515 @@
+#include "paxos/storage.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/clock.hpp"
+#include "common/logging.hpp"
+
+namespace mcsmr::paxos {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Segment file layout: an 8-byte header (magic "MCSL" + version), then a
+// sequence of frames [u32 len][u32 crc32(payload)][payload].
+constexpr std::uint32_t kMagic = 0x4C53434D;  // "MCSL" little-endian
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 8;
+constexpr std::size_t kFrameHeaderBytes = 8;
+/// Any frame claiming more than this is treated as framing corruption
+/// (bounds the allocation recovery would otherwise attempt on garbage).
+constexpr std::uint32_t kMaxRecordBytes = 64u << 20;
+
+std::uint32_t read_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+bool write_all(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Make a created/deleted directory entry itself durable (best effort:
+/// some filesystems reject directory fsync; the data-file fsync is the
+/// integrity-critical one and goes through the fault-injection seam).
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+Bytes make_frame(const DurableRecord& record) {
+  const Bytes payload = encode_record(record);
+  ByteWriter writer(kFrameHeaderBytes + payload.size());
+  writer.u32(static_cast<std::uint32_t>(payload.size()));
+  writer.u32(crc32(payload));
+  writer.raw(payload);
+  return writer.take();
+}
+
+/// Replay one record into the recovered state, in append order: later
+/// records supersede earlier ones, and a snapshot subsumes everything
+/// below its cut.
+void apply_record(RecoveredState& state, DurableRecord&& record) {
+  switch (record.type) {
+    case RecordType::kPromise:
+      state.promised_view = std::max(state.promised_view, record.view);
+      break;
+    case RecordType::kAccept: {
+      auto& entry = state.entries[record.instance];
+      if (!entry.decided) {
+        entry.accepted_view = record.view;
+        entry.value = std::move(record.value);
+      }
+      break;
+    }
+    case RecordType::kDecide: {
+      auto& entry = state.entries[record.instance];
+      entry.decided = true;
+      entry.value = std::move(record.value);
+      break;
+    }
+    case RecordType::kSnapshot: {
+      const InstanceId cut = record.instance;
+      state.snapshot = std::move(record);
+      state.entries.erase(state.entries.begin(), state.entries.lower_bound(cut));
+      break;
+    }
+  }
+  ++state.records;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Record codec + CRC
+// ---------------------------------------------------------------------------
+
+Bytes encode_record(const DurableRecord& record) {
+  ByteWriter writer(1 + 8 + 8 + 8 + record.value.size() + record.reply_cache.size());
+  writer.u8(static_cast<std::uint8_t>(record.type));
+  writer.u64(record.view);
+  writer.u64(record.instance);
+  writer.bytes(record.value);
+  writer.bytes(record.reply_cache);
+  return writer.take();
+}
+
+DurableRecord decode_record(std::span<const std::uint8_t> payload) {
+  ByteReader reader(payload);
+  DurableRecord record;
+  const std::uint8_t type = reader.u8();
+  if (type < static_cast<std::uint8_t>(RecordType::kPromise) ||
+      type > static_cast<std::uint8_t>(RecordType::kSnapshot)) {
+    throw DecodeError("unknown durable record type: " + std::to_string(type));
+  }
+  record.type = static_cast<RecordType>(type);
+  record.view = reader.u64();
+  record.instance = reader.u64();
+  record.value = reader.bytes();
+  record.reply_cache = reader.bytes();
+  if (!reader.at_end()) throw DecodeError("trailing bytes in durable record");
+  return record;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// SegmentStorage
+// ---------------------------------------------------------------------------
+
+SegmentStorage::SegmentStorage(SegmentStorageOptions options) : options_(std::move(options)) {
+  if (options_.dir.empty()) throw StorageError("segment storage requires a directory");
+  recover();
+  open_fresh_segment();  // appends of this incarnation go to a new file
+  flush_thread_ = std::thread([this] { flush_loop(); });
+}
+
+SegmentStorage::~SegmentStorage() {
+  stop_.store(true, std::memory_order_release);
+  flush_wake_.notify();
+  if (flush_thread_.joinable()) flush_thread_.join();
+  std::lock_guard<std::mutex> lock(io_mu_);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+namespace {
+std::string segment_name(std::uint32_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "seg-%08u.mcl", seq);
+  return buf;
+}
+}  // namespace
+
+void SegmentStorage::recover() {
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) throw StorageError("cannot create log dir " + options_.dir + ": " + ec.message());
+
+  std::vector<std::uint32_t> seqs;
+  for (const auto& entry : fs::directory_iterator(options_.dir)) {
+    const std::string name = entry.path().filename().string();
+    unsigned seq = 0;
+    char tail = 0;
+    if (std::sscanf(name.c_str(), "seg-%8u.mc%c", &seq, &tail) == 2 && tail == 'l') {
+      seqs.push_back(static_cast<std::uint32_t>(seq));
+    }
+  }
+  std::sort(seqs.begin(), seqs.end());
+
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    const bool last = i + 1 == seqs.size();
+    const std::string path = options_.dir + "/" + segment_name(seqs[i]);
+
+    Bytes data;
+    {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) throw StorageError("cannot open segment " + path);
+      data.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+    }
+
+    if (data.size() < kHeaderBytes) {
+      // The file was created but its header never reached the disk; only
+      // the newest segment can legitimately be in that state.
+      if (!last) throw StorageError("truncated header in sealed segment " + path);
+      fs::remove(path, ec);
+      continue;
+    }
+    if (read_le32(data.data()) != kMagic || read_le32(data.data() + 4) != kVersion) {
+      throw StorageError("bad segment header in " + path);
+    }
+
+    // Scan frames; `good` trails the end of the last fully-valid frame.
+    std::size_t offset = kHeaderBytes;
+    std::size_t good = kHeaderBytes;
+    bool torn = false;
+    while (offset + kFrameHeaderBytes <= data.size()) {
+      const std::uint32_t len = read_le32(data.data() + offset);
+      const std::uint32_t crc = read_le32(data.data() + offset + 4);
+      if (len > kMaxRecordBytes || offset + kFrameHeaderBytes + len > data.size()) {
+        torn = true;
+        break;
+      }
+      const std::span<const std::uint8_t> payload(data.data() + offset + kFrameHeaderBytes,
+                                                  len);
+      if (crc32(payload) != crc) {
+        torn = true;
+        break;
+      }
+      DurableRecord record;
+      try {
+        record = decode_record(payload);
+      } catch (const DecodeError&) {
+        torn = true;
+        break;
+      }
+      apply_record(recovered_, std::move(record));
+      offset += kFrameHeaderBytes + len;
+      good = offset;
+    }
+
+    if (good < data.size()) {
+      // Bytes past the last valid frame: a torn tail on the newest segment
+      // (records that were never acked — drop them), corruption anywhere
+      // else (acked records are gone — refuse to run).
+      if (!last) {
+        throw StorageError("corrupt record in sealed segment " + path +
+                           " at offset " + std::to_string(good));
+      }
+      (void)torn;
+      fs::resize_file(path, good, ec);
+      if (ec) throw StorageError("cannot truncate torn tail of " + path);
+    }
+    segments_.push_back(seqs[i]);
+  }
+  next_segment_ = seqs.empty() ? 1 : seqs.back() + 1;
+}
+
+void SegmentStorage::open_fresh_segment() {
+  if (fd_ >= 0) {
+    // Seal the active segment: its records must be durable before appends
+    // continue in a new file.
+    const int r = options_.fsync_fn ? options_.fsync_fn(fd_) : ::fsync(fd_);
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    ::close(fd_);
+    fd_ = -1;
+    if (r < 0) throw StorageError("fsync failed sealing segment in " + options_.dir);
+  }
+  const std::uint32_t seq = next_segment_++;
+  const std::string path = options_.dir + "/" + segment_name(seq);
+  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) throw StorageError("cannot create segment " + path);
+  ByteWriter header(kHeaderBytes);
+  header.u32(kMagic);
+  header.u32(kVersion);
+  if (!write_all(fd_, header.view().data(), header.view().size())) {
+    throw StorageError("cannot write segment header to " + path);
+  }
+  fsync_dir(options_.dir);
+  segments_.push_back(seq);
+  active_bytes_ = kHeaderBytes;
+}
+
+Lsn SegmentStorage::append(const DurableRecord& record) {
+  Pending pending{0, make_frame(record)};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (failed_.load(std::memory_order_acquire)) {
+      throw StorageError("append on poisoned log storage (" + options_.dir + ")");
+    }
+    pending.lsn = appended_.load(std::memory_order_relaxed) + 1;
+    appended_.store(pending.lsn, std::memory_order_release);
+    pending_.push_back(std::move(pending));
+  }
+  const Lsn lsn = appended_.load(std::memory_order_relaxed);
+  flush_wake_.notify();
+  return lsn;
+}
+
+bool SegmentStorage::has_pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !pending_.empty();
+}
+
+bool SegmentStorage::sync_requested() const {
+  return sync_target_.load(std::memory_order_acquire) >
+         durable_.load(std::memory_order_relaxed);
+}
+
+void SegmentStorage::flush_loop() {
+  Lsn written = 0;  // highest LSN handed to the OS (write(2) done)
+  std::uint64_t last_fsync = mono_ns();
+
+  for (;;) {
+    // Sleep until work arrives — or just long enough to honor the
+    // group-commit window when written records still await their fsync.
+    std::uint64_t timeout = kSeconds;
+    if (written > durable_.load(std::memory_order_relaxed)) {
+      const std::uint64_t elapsed = mono_ns() - last_fsync;
+      timeout = elapsed >= options_.fsync_batch_ns ? 0 : options_.fsync_batch_ns - elapsed;
+    }
+    if (timeout > 0) {
+      flush_wake_.await_for(
+          [&] {
+            return stop_.load(std::memory_order_acquire) || sync_requested() ||
+                   has_pending();
+          },
+          timeout);
+    }
+
+    std::vector<Pending> chunk;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      chunk.swap(pending_);
+    }
+    const bool stopping = stop_.load(std::memory_order_acquire);
+
+    if (!chunk.empty() && !failed_.load(std::memory_order_acquire)) {
+      if (write_chunk(chunk)) written = chunk.back().lsn;
+    }
+    if (failed_.load(std::memory_order_acquire)) {
+      durable_wake_.notify();  // sync() waiters observe the poison
+      if (stopping) break;
+      continue;
+    }
+
+    if (written > durable_.load(std::memory_order_relaxed)) {
+      const bool commit = stopping || sync_requested() || options_.fsync_batch_ns == 0 ||
+                          mono_ns() - last_fsync >= options_.fsync_batch_ns;
+      if (commit) {
+        if (do_fsync()) durable_.store(written, std::memory_order_release);
+        last_fsync = mono_ns();
+        durable_wake_.notify();
+      }
+    }
+
+    if (stopping && !has_pending()) break;
+  }
+  durable_wake_.notify();
+}
+
+bool SegmentStorage::write_chunk(const std::vector<Pending>& chunk) {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  for (const Pending& pending : chunk) {
+    if (active_bytes_ >= options_.segment_max_bytes) {
+      try {
+        open_fresh_segment();
+      } catch (const StorageError& error) {
+        poison(error.what());
+        return false;
+      }
+    }
+    if (!write_all(fd_, pending.frame.data(), pending.frame.size())) {
+      poison("write failed on segment in " + options_.dir);
+      return false;
+    }
+    active_bytes_ += pending.frame.size();
+  }
+  return true;
+}
+
+bool SegmentStorage::do_fsync() {
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    fd = fd_;
+  }
+  const int r = options_.fsync_fn ? options_.fsync_fn(fd) : ::fsync(fd);
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  if (r < 0) {
+    poison("fsync failed on segment in " + options_.dir);
+    return false;
+  }
+  return true;
+}
+
+void SegmentStorage::poison(const std::string& why) {
+  if (!failed_.exchange(true, std::memory_order_acq_rel)) {
+    LOG_ERROR << "log storage poisoned: " << why;
+  }
+  durable_wake_.notify();
+  flush_wake_.notify();
+}
+
+void SegmentStorage::sync() {
+  if (failed_.load(std::memory_order_acquire)) {
+    throw StorageError("sync on poisoned log storage (" + options_.dir + ")");
+  }
+  const Lsn target = appended_.load(std::memory_order_acquire);
+  Lsn current = sync_target_.load(std::memory_order_relaxed);
+  while (current < target &&
+         !sync_target_.compare_exchange_weak(current, target, std::memory_order_acq_rel)) {
+  }
+  flush_wake_.notify();
+  durable_wake_.await([&] {
+    return failed_.load(std::memory_order_acquire) ||
+           durable_.load(std::memory_order_acquire) >= target;
+  });
+  if (failed_.load(std::memory_order_acquire)) {
+    throw StorageError("fsync failed; log storage is poisoned (" + options_.dir + ")");
+  }
+}
+
+void SegmentStorage::checkpoint(const std::vector<DurableRecord>& records) {
+  // Everything already appended must be on disk before we can claim the
+  // checkpoint supersedes it.
+  sync();
+
+  std::lock_guard<std::mutex> lock(io_mu_);
+  // Crash-safe order: write + fsync the replacement segment fully BEFORE
+  // deleting its predecessors. A crash in between leaves both; replaying
+  // old records then the checkpoint converges to the same state.
+  try {
+    open_fresh_segment();
+  } catch (const StorageError& error) {
+    poison(error.what());
+    throw;
+  }
+  Lsn lsn = appended_.load(std::memory_order_relaxed);
+  for (const DurableRecord& record : records) {
+    const Bytes frame = make_frame(record);
+    if (!write_all(fd_, frame.data(), frame.size())) {
+      poison("write failed during checkpoint in " + options_.dir);
+      throw StorageError("checkpoint write failed in " + options_.dir);
+    }
+    active_bytes_ += frame.size();
+    ++lsn;
+  }
+  const int r = options_.fsync_fn ? options_.fsync_fn(fd_) : ::fsync(fd_);
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  if (r < 0) {
+    poison("fsync failed during checkpoint in " + options_.dir);
+    throw StorageError("checkpoint fsync failed in " + options_.dir);
+  }
+
+  // The checkpoint segment is durable; older segments are now garbage.
+  const std::uint32_t keep = segments_.back();
+  for (const std::uint32_t seq : segments_) {
+    if (seq == keep) continue;
+    std::error_code ec;
+    fs::remove(options_.dir + "/" + segment_name(seq), ec);
+  }
+  segments_.assign(1, keep);
+  fsync_dir(options_.dir);
+
+  {
+    // The caller (the Protocol thread) is the only appender, so no new
+    // pending records raced in past the sync() above.
+    std::lock_guard<std::mutex> pending_lock(mu_);
+    appended_.store(lsn, std::memory_order_release);
+  }
+  durable_.store(lsn, std::memory_order_release);
+  durable_wake_.notify();
+}
+
+void SegmentStorage::simulate_crash() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.clear();  // the volatile tail a power loss would take
+  }
+  stop_.store(true, std::memory_order_release);
+  flush_wake_.notify();
+  if (flush_thread_.joinable()) flush_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+  failed_.store(true, std::memory_order_release);  // the incarnation is dead
+  durable_wake_.notify();
+}
+
+std::size_t SegmentStorage::segment_count() const {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  return segments_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<LogStorage> make_log_storage(const Config& config, ReplicaId self,
+                                             std::uint32_t partition) {
+  if (config.log_storage == StorageImpl::kMemory) return std::make_unique<MemoryStorage>();
+  SegmentStorageOptions options;
+  options.dir = config.log_dir + "/r" + std::to_string(self) + "/p" +
+                std::to_string(partition);
+  options.fsync_batch_ns = config.fsync_batch_ns;
+  return std::make_unique<SegmentStorage>(std::move(options));
+}
+
+}  // namespace mcsmr::paxos

@@ -3,12 +3,13 @@
 namespace mcsmr::smr {
 
 ProtocolThread::ProtocolThread(const Config& config, paxos::Engine& engine,
-                               DispatcherQueue& dispatcher, ProposalQueue& proposals,
-                               DecisionQueue& decisions, PartitionIo replica_io,
-                               Retransmitter& retransmitter, SharedState& shared)
-    : config_(config), engine_(engine), dispatcher_(dispatcher), proposals_(proposals),
-      decisions_(decisions), replica_io_(replica_io), retransmitter_(retransmitter),
-      shared_(shared) {}
+                               paxos::LogStorage& storage, DispatcherQueue& dispatcher,
+                               ProposalQueue& proposals, DecisionQueue& decisions,
+                               PartitionIo replica_io, Retransmitter& retransmitter,
+                               SharedState& shared)
+    : config_(config), engine_(engine), storage_(storage), dispatcher_(dispatcher),
+      proposals_(proposals), decisions_(decisions), replica_io_(replica_io),
+      retransmitter_(retransmitter), shared_(shared) {}
 
 ProtocolThread::~ProtocolThread() { stop(); }
 
@@ -29,13 +30,17 @@ void ProtocolThread::run() {
   publish();
 
   while (running_.load(std::memory_order_relaxed)) {
-    auto event = dispatcher_.pop_for(2 * kMillis);
+    // With acks parked behind the durability gate, poll on the group-commit
+    // cadence instead of the idle 2 ms tick — fsync completion has no event.
+    const std::uint64_t timeout = gated_.empty() ? 2 * kMillis : 200 * kMicros;
+    auto event = dispatcher_.pop_for(timeout);
     if (event.has_value()) {
       handle(*event);
       // Drain whatever else is ready before considering proposals, so
       // protocol messages keep priority over new work.
       while (auto more = dispatcher_.try_pop()) handle(*more);
     }
+    release_durable_sends();
     pull_proposals();
     publish();
   }
@@ -66,7 +71,11 @@ void ProtocolThread::handle(DispatchEvent& event) {
 }
 
 void ProtocolThread::pull_proposals() {
-  while (engine_.is_leader() && engine_.window_available()) {
+  // Pre-execution window: keep proposing ahead of the durable point, but
+  // only so far — a proposer unboundedly ahead of its fsyncs would turn a
+  // crash into mass client-visible retraction.
+  while (engine_.is_leader() && engine_.window_available() &&
+         storage_.appended_lsn() - storage_.durable_lsn() < config_.preexec_window) {
     auto batch = proposals_.try_pop();
     if (!batch.has_value()) break;
     engine_.on_batch(std::move(*batch), effects_);
@@ -80,9 +89,9 @@ void ProtocolThread::apply_effects() {
         [&](auto& e) {
           using T = std::decay_t<decltype(e)>;
           if constexpr (std::is_same_v<T, paxos::SendTo>) {
-            replica_io_.send(e.to, e.message);
+            send_or_gate(/*broadcast=*/false, e.to, std::move(e.message));
           } else if constexpr (std::is_same_v<T, paxos::BroadcastMsg>) {
-            replica_io_.broadcast(e.message);
+            send_or_gate(/*broadcast=*/true, 0, std::move(e.message));
           } else if constexpr (std::is_same_v<T, paxos::Deliver>) {
             shared_.decided_instances.fetch_add(1, std::memory_order_relaxed);
             decisions_.push(Decision{e.instance, std::move(e.value)});
@@ -112,6 +121,37 @@ void ProtocolThread::apply_effects() {
         effect);
   }
   effects_.clear();
+}
+
+void ProtocolThread::send_or_gate(bool broadcast, ReplicaId to, paxos::Message&& message) {
+  // A message may acknowledge protocol state (a promise in PrepareOk, an
+  // acceptance in Accept/Propose) that the engine just appended; it must
+  // not leave this replica before those records are on disk. Durable-now
+  // is the common case (memory storage: always; segment storage: whenever
+  // group commit has caught up) and sends straight through. Otherwise the
+  // message queues behind every earlier gated send, preserving order.
+  const paxos::Lsn appended = storage_.appended_lsn();
+  if (gated_.empty() && storage_.durable_lsn() >= appended) {
+    if (broadcast) {
+      replica_io_.broadcast(message);
+    } else {
+      replica_io_.send(to, message);
+    }
+    return;
+  }
+  gated_.push_back(GatedSend{appended, broadcast, to, std::move(message)});
+}
+
+void ProtocolThread::release_durable_sends() {
+  while (!gated_.empty() && storage_.durable_lsn() >= gated_.front().lsn) {
+    GatedSend& send = gated_.front();
+    if (send.broadcast) {
+      replica_io_.broadcast(send.message);
+    } else {
+      replica_io_.send(send.to, send.message);
+    }
+    gated_.pop_front();
+  }
 }
 
 void ProtocolThread::publish() {

@@ -31,7 +31,8 @@ Replica::Partition::Partition(const Config& replica_config, ReplicaId self,
       decision_queue(config.decision_queue_cap, "DecisionQueue"),
       service(std::move(svc)),
       reply_cache(config.reply_cache_stripes, config.admitted_ttl_ns),
-      engine(config, self),
+      storage(paxos::make_log_storage(config, self, partition_index)),
+      engine(config, self, storage.get()),
       retransmitter(config, PartitionIo(replica_io, partition_index)),
       batcher(config, request_queue, proposal_queue, dispatcher_queue, shared) {
   replica_io.register_partition(dispatcher_queue, shared);
@@ -89,8 +90,9 @@ void Replica::wire_client_io(std::unique_ptr<ClientIo> client_io) {
         p->config, p->decision_queue, *p->service, p->reply_cache, *client_io_,
         p->dispatcher_queue, p->shared, std::move(hooks));
     p->protocol = std::make_unique<ProtocolThread>(
-        p->config, p->engine, p->dispatcher_queue, p->proposal_queue, p->decision_queue,
-        PartitionIo(replica_io_, p->index), p->retransmitter, p->shared);
+        p->config, p->engine, *p->storage, p->dispatcher_queue, p->proposal_queue,
+        p->decision_queue, PartitionIo(replica_io_, p->index), p->retransmitter,
+        p->shared);
     // Snapshot provider: read on the Protocol thread, produced by the
     // ServiceManager; the shared_ptr hand-off is the only synchronization.
     ServiceManager* manager = p->service_manager.get();
@@ -186,9 +188,12 @@ std::unique_ptr<Replica> Replica::create_sim(const Config& config, ReplicaId sel
   auto transport = std::make_unique<SimPeerTransport>(net, replica_nodes, self);
   auto replica =
       std::unique_ptr<Replica>(new Replica(config, self, std::move(transport), factory));
+  // The ClientIo keeps a Config reference: hand it the replica's own copy,
+  // not the caller's argument (which may be a temporary that dies before
+  // the IO threads ever run).
   replica->wire_client_io(std::make_unique<SimClientIo>(
-      config, net, replica_nodes[self], replica->intakes(), replica->router_.get(),
-      replica->partitions_.front()->shared));
+      replica->config_, net, replica_nodes[self], replica->intakes(),
+      replica->router_.get(), replica->partitions_.front()->shared));
   return replica;
 }
 
@@ -216,8 +221,9 @@ std::unique_ptr<Replica> Replica::create_tcp(const Config& config, ReplicaId sel
   if (transport == nullptr) return nullptr;
   auto replica =
       std::unique_ptr<Replica>(new Replica(config, self, std::move(transport), factory));
-  auto client_io = std::make_unique<TcpClientIo>(config, client_port, replica->intakes(),
-                                                 replica->router_.get(),
+  // As in create_sim: the ClientIo's Config reference must outlive it.
+  auto client_io = std::make_unique<TcpClientIo>(replica->config_, client_port,
+                                                 replica->intakes(), replica->router_.get(),
                                                  replica->partitions_.front()->shared);
   if (!client_io->valid()) return nullptr;
   replica->wire_client_io(std::move(client_io));

@@ -137,6 +137,10 @@ class Replica {
     DecisionQueue decision_queue;
     std::unique_ptr<Service> service;
     ReplyCache reply_cache;
+    /// Durable Paxos log (declared before the engine, which restores from
+    /// it). Opening segment storage on an existing directory IS crash
+    /// recovery: the engine replays what it finds on start().
+    std::unique_ptr<paxos::LogStorage> storage;
     paxos::Engine engine;
     Retransmitter retransmitter;
     Batcher batcher;

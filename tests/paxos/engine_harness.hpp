@@ -2,15 +2,31 @@
 // message pool with full control over delivery order, loss, duplication
 // and retransmission — the deterministic schedule explorer used by both
 // the unit tests and the property tests.
+//
+// With `durable = true` every engine writes a real SegmentStorage log in
+// a private temp directory (no-op fsync: the tests model write ordering,
+// not disk latency) and the harness syncs after absorbing each effect
+// batch — the synchronous-acceptor model, mirroring the durability gate
+// in the real ProtocolThread where no message leaves the replica before
+// the records behind it are durable. `crash_restart(id)` then models a
+// process crash: the engine object and its armed retransmissions are
+// destroyed and a fresh engine recovers purely from the segment files.
 #pragma once
 
+#include <unistd.h>
+
+#include <atomic>
 #include <deque>
+#include <filesystem>
 #include <map>
+#include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "common/rand.hpp"
 #include "paxos/engine.hpp"
+#include "paxos/storage.hpp"
 
 namespace mcsmr::paxos::testing {
 
@@ -20,27 +36,69 @@ struct PendingMessage {
   Message message;
 };
 
+/// A fresh process-unique directory under the system temp dir.
+inline std::string unique_harness_dir() {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t id = counter.fetch_add(1, std::memory_order_relaxed);
+  return (std::filesystem::temp_directory_path() /
+          ("mcsmr-harness-" + std::to_string(::getpid()) + "-" + std::to_string(id)))
+      .string();
+}
+
 class Cluster {
  public:
-  explicit Cluster(int n, std::uint32_t window = 10) {
+  explicit Cluster(int n, std::uint32_t window = 10, bool durable = false)
+      : durable_(durable) {
     config_.n = n;
     config_.window_size = window;
+    if (durable_) dir_ = unique_harness_dir();
     for (int id = 0; id < n; ++id) {
-      engines_.emplace_back(config_, static_cast<ReplicaId>(id));
+      storages_.push_back(durable_ ? make_storage(static_cast<ReplicaId>(id)) : nullptr);
+      engines_.push_back(std::make_unique<Engine>(config_, static_cast<ReplicaId>(id),
+                                                  storages_.back().get()));
       delivered_.emplace_back();
       retransmits_.emplace_back();
     }
   }
 
+  ~Cluster() {
+    if (!dir_.empty()) {
+      engines_.clear();   // engines reference the storages
+      storages_.clear();  // close segment files before deleting them
+      std::error_code ec;
+      std::filesystem::remove_all(dir_, ec);
+    }
+  }
+
   Config& config() { return config_; }
-  Engine& engine(ReplicaId id) { return engines_[id]; }
+  Engine& engine(ReplicaId id) { return *engines_[id]; }
   int n() const { return config_.n; }
 
   /// Kick off: view-0 leader runs Phase 1.
   void start() {
+    for (int id = 0; id < config_.n; ++id) {
+      std::vector<Effect> out;
+      engines_[static_cast<std::size_t>(id)]->start(out);
+      absorb(static_cast<ReplicaId>(id), out);
+    }
+  }
+
+  /// Crash replica `id` and bring it back from its durable log (durable
+  /// clusters only). The process loses its armed retransmissions and its
+  /// delivered history (the state machine re-executes from the log on
+  /// recovery, so `delivered(id)` restarts from instance 0); in-flight
+  /// messages survive — the network may still deliver them to the new
+  /// incarnation, exactly as a real network would.
+  void crash_restart(ReplicaId id) {
+    retransmits_[id].clear();
+    delivered_[id].clear();
+    engines_[id].reset();
+    storages_[id].reset();  // final close; recovery must reread the files
+    storages_[id] = make_storage(id);
+    engines_[id] = std::make_unique<Engine>(config_, id, storages_[id].get());
     std::vector<Effect> out;
-    for (auto& engine : engines_) engine.start(out);
-    absorb(0, out);  // self_=0 is the only engine producing effects here
+    engines_[id]->start(out);
+    absorb(id, out);
   }
 
   /// Process effects produced by engine `self`, queueing outbound traffic.
@@ -73,6 +131,10 @@ class Cluster {
           effect);
     }
     effects.clear();
+    // Synchronous-acceptor model: whatever this event appended becomes
+    // durable before its outbound messages can be delivered (they only
+    // sit in pending_ until now).
+    if (durable_) storages_[self]->sync();
   }
 
   std::size_t pending_count() const { return pending_.size(); }
@@ -82,7 +144,7 @@ class Cluster {
     PendingMessage pm = std::move(pending_[index]);
     pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
     std::vector<Effect> out;
-    engines_[pm.to].on_message(pm.from, pm.message, out);
+    engines_[pm.to]->on_message(pm.from, pm.message, out);
     absorb(pm.to, out);
   }
 
@@ -117,7 +179,7 @@ class Cluster {
   void fire_heartbeats() {
     for (int id = 0; id < config_.n; ++id) {
       std::vector<Effect> out;
-      engines_[static_cast<std::size_t>(id)].on_heartbeat_timer(out);
+      engines_[static_cast<std::size_t>(id)]->on_heartbeat_timer(out);
       absorb(static_cast<ReplicaId>(id), out);
     }
   }
@@ -125,21 +187,21 @@ class Cluster {
   void fire_catchup_timers() {
     for (int id = 0; id < config_.n; ++id) {
       std::vector<Effect> out;
-      engines_[static_cast<std::size_t>(id)].on_catchup_timer(out);
+      engines_[static_cast<std::size_t>(id)]->on_catchup_timer(out);
       absorb(static_cast<ReplicaId>(id), out);
     }
   }
 
   bool offer_batch(ReplicaId id, Bytes batch) {
     std::vector<Effect> out;
-    const bool taken = engines_[id].on_batch(std::move(batch), out);
+    const bool taken = engines_[id]->on_batch(std::move(batch), out);
     absorb(id, out);
     return taken;
   }
 
   void suspect(ReplicaId id) {
     std::vector<Effect> out;
-    engines_[id].on_suspect_leader(out);
+    engines_[id]->on_suspect_leader(out);
     absorb(id, out);
   }
 
@@ -147,8 +209,8 @@ class Cluster {
   Engine* current_leader() {
     Engine* best = nullptr;
     for (auto& engine : engines_) {
-      if (engine.is_leader() && (best == nullptr || engine.view() > best->view())) {
-        best = &engine;
+      if (engine->is_leader() && (best == nullptr || engine->view() > best->view())) {
+        best = engine.get();
       }
     }
     return best;
@@ -167,8 +229,19 @@ class Cluster {
   std::deque<PendingMessage>& pending() { return pending_; }
 
  private:
+  std::unique_ptr<LogStorage> make_storage(ReplicaId id) {
+    SegmentStorageOptions options;
+    options.dir = dir_ + "/r" + std::to_string(id);
+    options.fsync_batch_ns = 0;
+    options.fsync_fn = [](int) { return 0; };  // ordering model, not a disk model
+    return std::make_unique<SegmentStorage>(options);
+  }
+
   Config config_;
-  std::deque<Engine> engines_;
+  bool durable_;
+  std::string dir_;  ///< temp segment root, empty when not durable
+  std::vector<std::unique_ptr<LogStorage>> storages_;
+  std::vector<std::unique_ptr<Engine>> engines_;
   std::deque<PendingMessage> pending_;
   std::vector<std::vector<DeliveredEntry>> delivered_;
   std::vector<std::map<std::uint64_t, Message>> retransmits_;

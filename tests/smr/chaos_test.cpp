@@ -143,6 +143,120 @@ TEST(ChaosTest, KillAndRecoverInstallsSnapshotMidTraffic) {
       << "recovered replica made no progress at all";
 }
 
+TEST(ChaosTest, SegmentStorageKillAndRestartRecoversMidTraffic) {
+  // The durable-log analogue of the kill-and-recover scenario: the victim
+  // restarts from its own segment files (SimCluster::restart reopens the
+  // same log directory) instead of returning empty, then closes whatever
+  // gap remains via normal catch-up / snapshot install. Forces segment
+  // storage regardless of the MCSMR_LOG_STORAGE matrix variant.
+  Config config;
+  config.apply_overrides({{"log_storage", "segment"}});
+  config.snapshot_interval_instances = 8;
+  config.retransmit_timeout_ns = 100 * kMillis;
+  config.catchup_interval_ns = 100 * kMillis;
+  SimCluster cluster(config, testing::fast_net(),
+                     [] { return std::make_unique<KvService>(); });
+  cluster.start();
+  auto leader = cluster.wait_for_leader();
+  ASSERT_TRUE(leader.has_value());
+  const ReplicaId victim = (*leader + 1) % 3;  // a follower: traffic keeps flowing
+
+  std::atomic<bool> running{true};
+  std::atomic<int> completed{0};
+  std::thread driver([&] {
+    auto client = cluster.make_client(83);
+    for (int i = 0; running.load(std::memory_order_relaxed); ++i) {
+      const std::string key = "k" + std::to_string(i % 24);
+      if (client.call(KvService::make_put(key, Bytes{static_cast<std::uint8_t>(i)}))) {
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  auto wait_completed = [&](int target) {
+    const std::uint64_t deadline = mono_ns() + 20 * kSeconds;
+    while (mono_ns() < deadline && completed.load() < target) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return completed.load() >= target;
+  };
+
+  ASSERT_TRUE(wait_completed(40)) << "no progress before the crash";
+  cluster.crash(victim);
+  ASSERT_TRUE(wait_completed(completed.load() + 200)) << "progress stalled after the crash";
+  cluster.restart(victim);
+
+  ASSERT_TRUE(wait_completed(completed.load() + 100)) << "progress stalled after recovery";
+  running.store(false);
+  driver.join();
+
+  const std::uint64_t deadline = mono_ns() + 20 * kSeconds;
+  auto converged = [&] {
+    const Bytes m0 = cluster.replica(0).state_manifest();
+    return m0 == cluster.replica(1).state_manifest() &&
+           m0 == cluster.replica(2).state_manifest() && !m0.empty();
+  };
+  while (mono_ns() < deadline && !converged()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(converged()) << "recovered replica did not converge";
+}
+
+TEST(ChaosTest, SegmentStorageFullClusterRestartReplaysIdenticalState) {
+  // Crash ALL replicas, restart them, and drive NO new traffic: the only
+  // possible source of the service state after restart is the durable log
+  // (with memory storage a full-cluster crash loses everything). Snapshots
+  // stay disabled so recovery is pure record-by-record replay, and the
+  // replayed state must be byte-identical to the pre-crash manifest.
+  Config config;
+  config.apply_overrides({{"log_storage", "segment"}});
+  config.retransmit_timeout_ns = 100 * kMillis;
+  config.catchup_interval_ns = 100 * kMillis;
+  SimCluster cluster(config, testing::fast_net(),
+                     [] { return std::make_unique<KvService>(); });
+  cluster.start();
+  ASSERT_TRUE(cluster.wait_for_leader().has_value());
+
+  auto client = cluster.make_client(97);
+  int completed = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "k" + std::to_string(i % 16);
+    if (client.call(KvService::make_put(key, Bytes{static_cast<std::uint8_t>(i)}))) {
+      ++completed;
+    }
+  }
+  ASSERT_GE(completed, 45) << "could not build pre-crash state";
+
+  // Let the cluster settle to one identical manifest before the crash.
+  const std::uint64_t settle_deadline = mono_ns() + 15 * kSeconds;
+  auto manifests_equal = [&] {
+    const Bytes m0 = cluster.replica(0).state_manifest();
+    return m0 == cluster.replica(1).state_manifest() &&
+           m0 == cluster.replica(2).state_manifest() && !m0.empty();
+  };
+  while (mono_ns() < settle_deadline && !manifests_equal()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_TRUE(manifests_equal()) << "cluster did not converge before the crash";
+  const Bytes before = cluster.replica(0).state_manifest();
+
+  for (ReplicaId id = 0; id < 3; ++id) cluster.crash(id);
+  for (ReplicaId id = 0; id < 3; ++id) cluster.restart(id);
+  ASSERT_TRUE(cluster.wait_for_leader().has_value()) << "no leader after full restart";
+
+  // No client traffic from here on: replay must resurrect the state.
+  const std::uint64_t deadline = mono_ns() + 20 * kSeconds;
+  auto replayed = [&] {
+    return cluster.replica(0).state_manifest() == before &&
+           cluster.replica(1).state_manifest() == before &&
+           cluster.replica(2).state_manifest() == before;
+  };
+  while (mono_ns() < deadline && !replayed()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(replayed())
+      << "replayed state differs from the pre-crash manifest (durability hole)";
+}
+
 TEST(ChaosTest, SwarmSurvivesLeaderChangeMidLoad) {
   Config config;
   config.fd_suspect_timeout_ns = 300 * kMillis;

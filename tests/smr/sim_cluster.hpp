@@ -1,17 +1,27 @@
 // Integration-test fixture: a full SimNet cluster of real threaded
 // replicas plus helper accessors.
 //
-// Three environment variables parameterize every cluster built here, and
+// Four environment variables parameterize every cluster built here, and
 // tests/CMakeLists.txt registers the replica_sim and chaos binaries extra
 // times with them set, so tier-1 exercises the full matrix:
 //   MCSMR_QUEUE_IMPL    ("mutex" | "ring")      -> Config::queue_impl
 //   MCSMR_EXECUTOR_IMPL ("serial" | "parallel") -> Config::executor_impl
 //   MCSMR_PARTITIONS    ("1", "2", ...)         -> Config::num_partitions
+//   MCSMR_LOG_STORAGE   ("memory" | "segment")  -> Config::log_storage
+//
+// Under segment storage each cluster gets a private temp log directory
+// (removed in the destructor) unless the test pinned Config::log_dir
+// itself, so concurrent ctest jobs never share segment files.
 #pragma once
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -21,8 +31,8 @@
 
 namespace mcsmr::smr::testing {
 
-/// Apply the MCSMR_QUEUE_IMPL / MCSMR_EXECUTOR_IMPL / MCSMR_PARTITIONS
-/// overrides (if set).
+/// Apply the MCSMR_QUEUE_IMPL / MCSMR_EXECUTOR_IMPL / MCSMR_PARTITIONS /
+/// MCSMR_LOG_STORAGE overrides (if set).
 inline Config apply_queue_impl_env(Config config) {
   if (const char* impl = std::getenv("MCSMR_QUEUE_IMPL")) {
     config.apply_overrides({{"queue_impl", impl}});
@@ -33,7 +43,19 @@ inline Config apply_queue_impl_env(Config config) {
   if (const char* partitions = std::getenv("MCSMR_PARTITIONS")) {
     config.apply_overrides({{"num_partitions", partitions}});
   }
+  if (const char* storage = std::getenv("MCSMR_LOG_STORAGE")) {
+    config.apply_overrides({{"log_storage", storage}});
+  }
   return config;
+}
+
+/// A fresh process-unique directory under the system temp dir.
+inline std::string unique_log_dir() {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t id = counter.fetch_add(1, std::memory_order_relaxed);
+  return (std::filesystem::temp_directory_path() /
+          ("mcsmr-seg-" + std::to_string(::getpid()) + "-" + std::to_string(id)))
+      .string();
 }
 
 inline net::SimNetParams fast_net() {
@@ -51,6 +73,12 @@ class SimCluster {
   explicit SimCluster(Config config, net::SimNetParams net_params = fast_net(),
                       ServiceFactory factory = [] { return std::make_unique<NullService>(); })
       : config_(apply_queue_impl_env(config)), net_(net_params), factory_(std::move(factory)) {
+    if (config_.log_storage == StorageImpl::kSegment &&
+        config_.log_dir == Config{}.log_dir) {
+      // The test didn't pin a directory: isolate this cluster's segments.
+      owned_log_dir_ = unique_log_dir();
+      config_.log_dir = owned_log_dir_;
+    }
     for (int id = 0; id < config_.n; ++id) {
       nodes_.push_back(net_.add_node("replica-" + std::to_string(id)));
     }
@@ -62,7 +90,14 @@ class SimCluster {
     }
   }
 
-  ~SimCluster() { stop(); }
+  ~SimCluster() {
+    stop();
+    if (!owned_log_dir_.empty()) {
+      replicas_.clear();  // close segment files before deleting them
+      std::error_code ec;
+      std::filesystem::remove_all(owned_log_dir_, ec);
+    }
+  }
 
   void start() {
     for (auto& replica : replicas_) {
@@ -81,10 +116,12 @@ class SimCluster {
     replicas_[id]->stop();
   }
 
-  /// Bring a crashed replica back with EMPTY state on the same SimNet
-  /// node (the kill-and-recover scenario: it must catch up via the log or
-  /// a snapshot install). Reopens the node's inboxes first — close() is
-  /// permanent on the old incarnation's queues.
+  /// Bring a crashed replica back on the same SimNet node (the
+  /// kill-and-recover scenario). With memory storage it returns EMPTY and
+  /// must catch up via the log or a snapshot install; with segment storage
+  /// it reopens the same log directory and restarts from disk. Reopens the
+  /// node's inboxes first — close() is permanent on the old incarnation's
+  /// queues.
   void restart(ReplicaId id) {
     replicas_[id].reset();  // joins any remaining threads
     for (int from = 0; from < config_.n; ++from) {
@@ -126,6 +163,7 @@ class SimCluster {
   ServiceFactory factory_;
   std::vector<net::NodeId> nodes_;
   std::vector<std::unique_ptr<Replica>> replicas_;
+  std::string owned_log_dir_;  ///< temp segment dir to delete, if we made one
 };
 
 }  // namespace mcsmr::smr::testing
