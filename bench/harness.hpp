@@ -49,6 +49,7 @@ struct RealRunParams {
   smr::ClientSwarm::Workload workload = smr::ClientSwarm::Workload::kNull;
   int kv_keys = 1024;
   int kv_conflict_pct = 0;
+  int read_pct = 0;  ///< % of kv requests that are GETs
 };
 
 struct QueueAverages {
@@ -70,6 +71,9 @@ struct RealRunResult {
   double other_rtt_during_ns = 0;    ///< ping between bystander nodes
   double idle_rtt_ns = 0;            ///< ping before the run
   double avg_batch_requests = 0;     ///< executed requests / decided instances
+  /// Lease read path deltas over the window (leader; 0 on consensus path).
+  std::uint64_t lease_reads = 0;
+  std::uint64_t lease_read_fallbacks = 0;
   QueueAverages queues;
   metrics::NetCounters::Snapshot leader_net;  ///< deltas over the window
   std::vector<metrics::ThreadStateSnapshot> leader_threads;  // r0/ threads
@@ -143,6 +147,7 @@ inline RealRunResult run_real(const RealRunParams& params) {
   swarm_params.workload = params.workload;
   swarm_params.kv_keys = params.kv_keys;
   swarm_params.kv_conflict_pct = params.kv_conflict_pct;
+  swarm_params.read_pct = params.read_pct;
   smr::ClientSwarm swarm(network, nodes, swarm_params);
 
   metrics::GaugeSampler sampler(20 * kMillis);
@@ -165,6 +170,10 @@ inline RealRunResult run_real(const RealRunParams& params) {
   sampler.reset();
   metrics::ThreadRegistry::instance().reset_epoch();
   const std::uint64_t completed_before = swarm.completed();
+  const std::uint64_t lease_reads_before =
+      replicas.empty() ? 0 : replicas[0]->shared().lease_reads.load();
+  const std::uint64_t lease_fallbacks_before =
+      replicas.empty() ? 0 : replicas[0]->shared().lease_read_fallbacks.load();
   const std::uint64_t cpu_before = process_cpu_ns();
   const auto net_before = network.counters(nodes[0]).snapshot();
   const std::uint64_t t0 = mono_ns();
@@ -225,6 +234,11 @@ inline RealRunResult run_real(const RealRunParams& params) {
                                                  : replicas[0]->executed_requests();
   result.avg_batch_requests =
       decided == 0 ? 0 : static_cast<double>(executed) / static_cast<double>(decided);
+  if (!replicas.empty()) {
+    result.lease_reads = replicas[0]->shared().lease_reads.load() - lease_reads_before;
+    result.lease_read_fallbacks =
+        replicas[0]->shared().lease_read_fallbacks.load() - lease_fallbacks_before;
+  }
 
   swarm.stop();
   for (auto& replica : replicas) replica->stop();
@@ -284,6 +298,12 @@ inline RealRunResult run_real(RealRunParams params, const BenchArgs& args) {
   }
   if (args.kv_keys > 0) params.kv_keys = args.kv_keys;
   if (args.kv_conflict_pct >= 0) params.kv_conflict_pct = args.kv_conflict_pct;
+  // --read-pct P and --read-path consensus|lease: mixed GET/PUT traffic
+  // and the leader-lease local read path (bench_read_scaling A/Bs them).
+  if (args.read_pct >= 0) params.read_pct = args.read_pct;
+  if (!args.read_path.empty()) {
+    params.config.apply_overrides({{"read_path", args.read_path}});
+  }
   std::vector<RealRunResult> runs;
   runs.reserve(static_cast<std::size_t>(args.repeat));
   for (int rep = 0; rep < args.repeat; ++rep) {
@@ -333,6 +353,13 @@ inline RealRunResult run_real(RealRunParams params, const BenchArgs& args) {
   const auto n64 = static_cast<std::uint64_t>(runs.size());
   avg.leader_net = {net.packets_out / n64, net.packets_in / n64, net.bytes_out / n64,
                     net.bytes_in / n64};
+  std::uint64_t lease_sum = 0, fallback_sum = 0;
+  for (const auto& r : runs) {
+    lease_sum += r.lease_reads;
+    fallback_sum += r.lease_read_fallbacks;
+  }
+  avg.lease_reads = lease_sum / n64;
+  avg.lease_read_fallbacks = fallback_sum / n64;
 
   double var = 0;
   for (const auto& r : runs) {

@@ -169,6 +169,8 @@ namespace {
       "  --workload W    swarm workload: null or kv (keyed PUT traffic)\n"
       "  --keys N        kv workload key-space size\n"
       "  --conflict P    kv workload %% of requests hitting one hot key\n"
+      "  --read-pct P    kv workload %% of requests that are GETs\n"
+      "  --read-path P   read-only request handling: consensus or lease\n"
       "  --help          this message\n"
       "\n"
       "Unrecognized flags are passed through to the driver (e.g. --calibrate,\n"
@@ -287,6 +289,20 @@ BenchArgs BenchArgs::parse(int& argc, char** argv, std::string figure) {
       if (args.kv_conflict_pct < 0 || args.kv_conflict_pct > 100) {
         std::fprintf(stderr, "error: --conflict wants a percentage in [0, 100], got '%s'\n",
                      conflict_v);
+        std::exit(2);
+      }
+    } else if (const char* read_pct_v = flag_value("--read-pct", argc, argv, i)) {
+      args.read_pct = std::atoi(read_pct_v);
+      if (args.read_pct < 0 || args.read_pct > 100) {
+        std::fprintf(stderr, "error: --read-pct wants a percentage in [0, 100], got '%s'\n",
+                     read_pct_v);
+        std::exit(2);
+      }
+    } else if (const char* read_path_v = flag_value("--read-path", argc, argv, i)) {
+      args.read_path = read_path_v;
+      if (args.read_path != "consensus" && args.read_path != "lease") {
+        std::fprintf(stderr, "error: --read-path wants consensus or lease, got '%s'\n",
+                     read_path_v);
         std::exit(2);
       }
     } else {
@@ -419,6 +435,8 @@ BenchReport::BenchReport(const BenchArgs& args, std::string title)
   if (args_.kv_conflict_pct >= 0) {
     env("kv_conflict_pct", static_cast<std::int64_t>(args_.kv_conflict_pct));
   }
+  if (args_.read_pct >= 0) env("read_pct", static_cast<std::int64_t>(args_.read_pct));
+  if (!args_.read_path.empty()) env("read_path", args_.read_path);
 }
 
 BenchSeries& BenchReport::series(const std::string& name, const std::string& kind,

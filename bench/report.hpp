@@ -26,6 +26,9 @@
 //   --workload W    swarm workload: null (paper default) or kv
 //   --keys N        kv workload key-space size
 //   --conflict P    kv workload hot-key percentage [0, 100]
+//   --read-pct P    kv workload GET percentage [0, 100]
+//   --read-path P   read-only request handling: consensus or lease
+//                   (Config::read_path; bench_read_scaling A-Bs the two)
 // Unrecognized flags are left in argv for driver-specific handling
 // (e.g. --calibrate, --benchmark_* for the ablation drivers).
 #pragma once
@@ -103,6 +106,8 @@ struct BenchArgs {
   std::string workload;       ///< "" = driver default, else "null"/"kv"
   int kv_keys = 0;            ///< 0 = default key space (kv workload)
   int kv_conflict_pct = -1;   ///< -1 = default (kv workload hot-key share)
+  int read_pct = -1;          ///< -1 = default (kv workload GET share)
+  std::string read_path;      ///< "" = config default, else "consensus"/"lease"
   std::string argv_line;    ///< the original command line, recorded in env{}
   std::vector<std::string> passthrough;  ///< flags left for the driver
 

@@ -6,14 +6,15 @@
 #                        [--repeat N] [--budget PPS] [--seed S]
 #                        [--queue IMPL] [--executor IMPL] [--workers N]
 #                        [--partitions N] [--storage IMPL] [--workload W]
-#                        [--keys N] [--conflict P] [--no-validate]
+#                        [--keys N] [--conflict P] [--read-pct P]
+#                        [--read-path P] [--no-validate]
 #
 #   --smoke        short measurement windows + thinned sweeps (what CI runs)
 #   --out DIR      where BENCH_*.json land (default: the repo root)
 #   --build DIR    build tree holding the bench_* binaries (default: build)
 #   --only REGEX   run only drivers whose name matches (grep -E)
 #   --repeat/--budget/--seed/--queue/--executor/--workers/--partitions/
-#   --storage/--workload/--keys/--conflict
+#   --storage/--workload/--keys/--conflict/--read-pct/--read-path
 #                  forwarded to every driver (the full pipeline-shape
 #                  flag set — keep this list in sync with BenchArgs)
 #   --no-validate  skip the scripts/validate_bench_json.py pass
@@ -34,7 +35,7 @@ while [[ $# -gt 0 ]]; do
     --out) out_dir=$2; shift 2 ;;
     --build) build_dir=$2; shift 2 ;;
     --only) only=$2; shift 2 ;;
-    --repeat|--budget|--seed|--queue|--executor|--workers|--partitions|--storage|--workload|--keys|--conflict)
+    --repeat|--budget|--seed|--queue|--executor|--workers|--partitions|--storage|--workload|--keys|--conflict|--read-pct|--read-path)
       forward+=("$1" "$2"); shift 2 ;;
     --no-validate) validate=0; shift ;;
     *) echo "unknown flag: $1 (see the header of $0)" >&2; exit 2 ;;

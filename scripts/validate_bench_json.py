@@ -112,6 +112,12 @@ def check_env(env, errors):
         errors.append("env: 'log_storage' must be 'memory' or 'segment'")
     if "workload" in env and env["workload"] not in ("null", "kv"):
         errors.append("env: 'workload' must be 'null' or 'kv'")
+    if "read_pct" in env and (
+        not isinstance(env["read_pct"], int) or not 0 <= env["read_pct"] <= 100
+    ):
+        errors.append("env: 'read_pct' must be an integer in [0, 100]")
+    if "read_path" in env and env["read_path"] not in ("consensus", "lease"):
+        errors.append("env: 'read_path' must be 'consensus' or 'lease'")
 
 
 def validate(path):

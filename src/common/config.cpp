@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/clock.hpp"
+
 namespace mcsmr {
 
 namespace {
@@ -23,6 +25,19 @@ const char* to_string(ExecutorImpl impl) {
 
 const char* to_string(StorageImpl impl) {
   return impl == StorageImpl::kMemory ? "memory" : "segment";
+}
+
+const char* to_string(ReadPath path) {
+  return path == ReadPath::kConsensus ? "consensus" : "lease";
+}
+
+std::uint64_t Config::local_clock_ns() const {
+  const std::uint64_t now = mono_ns();
+  if (clock_offset_ns == 0 && clock_rate_ppm == 0) return now;
+  std::int64_t skewed = static_cast<std::int64_t>(now) + clock_offset_ns;
+  // Scale in two steps to keep the product inside int64 at any uptime.
+  skewed += static_cast<std::int64_t>(now / 1'000'000) * clock_rate_ppm;
+  return skewed > 0 ? static_cast<std::uint64_t>(skewed) : 0;
 }
 
 void Config::apply_overrides(const std::map<std::string, std::string>& overrides) {
@@ -88,6 +103,19 @@ void Config::apply_overrides(const std::map<std::string, std::string>& overrides
     } else if (key == "preexec_window") {
       preexec_window = static_cast<std::uint32_t>(parse_u64(value));
       if (preexec_window < 1) throw std::invalid_argument("preexec_window must be >= 1");
+    } else if (key == "read_path") {
+      if (value == "consensus") {
+        read_path = ReadPath::kConsensus;
+      } else if (value == "lease") {
+        read_path = ReadPath::kLease;
+      } else {
+        throw std::invalid_argument("read_path must be consensus or lease, got: " + value);
+      }
+    } else if (key == "lease_duration_ms") {
+      lease_duration_ns = parse_u64(value) * 1'000'000ull;
+      if (lease_duration_ns == 0) throw std::invalid_argument("lease_duration_ms must be >= 1");
+    } else if (key == "lease_drift_margin_ms") {
+      lease_drift_margin_ns = parse_u64(value) * 1'000'000ull;
     } else {
       throw std::invalid_argument("unknown config key: " + key);
     }

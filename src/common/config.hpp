@@ -49,6 +49,17 @@ enum class StorageImpl { kMemory, kSegment };
 
 const char* to_string(StorageImpl impl);
 
+/// How `read_only` requests (per Service::classify) reach the service:
+///   kConsensus — every request rides full consensus (the paper's
+///                pipeline, byte-identical baseline; default);
+///   kLease     — the leader acquires a time-bounded lease through the
+///                heartbeat traffic and serves linearizable reads locally
+///                without allocating a Paxos instance (see smr/request_gate
+///                and the "Read path" section of docs/ARCHITECTURE.md).
+enum class ReadPath { kConsensus, kLease };
+
+const char* to_string(ReadPath path);
+
 struct Config {
   // --- Cluster ---
   int n = 3;  ///< number of replicas; tolerates f = (n-1)/2 crashes
@@ -94,6 +105,27 @@ struct Config {
   // --- Retransmission (§V-C4) ---
   std::uint64_t retransmit_timeout_ns = 250'000'000;  ///< resend undecided after 250 ms
 
+  // --- Read path (leader leases; docs/ARCHITECTURE.md "Read path") ---
+  ReadPath read_path = ReadPath::kConsensus;
+  /// How long one heartbeat's lease grant lasts on the granting follower's
+  /// clock. Every heartbeat renews it, so the leader's lease slides forward
+  /// while a quorum keeps echoing grants. Must exceed fd_suspect_timeout_ns
+  /// or the lease expires between suspicion checks for no benefit.
+  std::uint64_t lease_duration_ns = 500'000'000;
+  /// Safety margin subtracted from every grant on the leader side, covering
+  /// clock RATE drift over one lease window (constant offsets cancel out of
+  /// the duration-based arithmetic entirely).
+  std::uint64_t lease_drift_margin_ns = 20'000'000;
+  /// Spin budget of the lease read fast-path while waiting for execution to
+  /// reach the read-point; when exhausted the read falls back to consensus.
+  std::uint32_t lease_read_spin = 4096;
+
+  // --- Clock-fault injection (tests only; both default to a true clock) ---
+  /// Constant offset added to this node's protocol clock.
+  std::int64_t clock_offset_ns = 0;
+  /// Rate skew in parts-per-million: +100'000 runs 10% fast.
+  std::int64_t clock_rate_ppm = 0;
+
   // --- Catch-up (§III-C) ---
   std::uint64_t catchup_interval_ns = 200'000'000;  ///< gap scan period
 
@@ -137,6 +169,12 @@ struct Config {
     return static_cast<ReplicaId>(view % static_cast<std::uint64_t>(n));
   }
 
+  /// This node's protocol clock: monotonic time warped by the fault
+  /// injection knobs above. All lease arithmetic (grants, expiry checks,
+  /// heartbeat stamps) must read time through here so injected skew is
+  /// seen coherently by every module of the replica.
+  std::uint64_t local_clock_ns() const;
+
   /// Parse `key=value` overrides (unknown keys throw std::invalid_argument).
   /// Accepted keys: n, window_size (wnd), batch_max_bytes (bsz),
   /// batch_timeout_ms, client_io_threads, request_queue_cap,
@@ -144,7 +182,8 @@ struct Config {
   /// queue_impl (mutex|ring), queue_spin_budget,
   /// executor_impl (serial|parallel), executor_workers,
   /// num_partitions (alias: partitions), log_storage (memory|segment),
-  /// log_dir, fsync_batch_ns, preexec_window.
+  /// log_dir, fsync_batch_ns, preexec_window, read_path (consensus|lease),
+  /// lease_duration_ms, lease_drift_margin_ms.
   void apply_overrides(const std::map<std::string, std::string>& overrides);
 
   /// Parse overrides from argv-style "key=value" tokens.

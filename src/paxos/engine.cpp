@@ -7,7 +7,9 @@
 namespace mcsmr::paxos {
 
 Engine::Engine(const Config& config, ReplicaId self, LogStorage* storage)
-    : config_(config), self_(self), rng_(0x5EEDull * (self + 1)) {
+    : config_(config), self_(self),
+      grant_deadline_(static_cast<std::size_t>(config.n), 0),
+      rng_(0x5EEDull * (self + 1)) {
   if (storage == nullptr) {
     owned_storage_ = std::make_unique<MemoryStorage>();
     storage_ = owned_storage_.get();
@@ -18,7 +20,7 @@ Engine::Engine(const Config& config, ReplicaId self, LogStorage* storage)
 
 void Engine::start(std::vector<Effect>& out) {
   restore_from_storage(out);
-  if (config_.leader_of_view(0) == self_) {
+  if (config_.leader_of_view(0) == self_ && !grant_blocks(self_)) {
     become_candidate(out);
   }
 }
@@ -46,7 +48,7 @@ void Engine::persist_checkpoint(const SnapshotData& snapshot) {
   if (!storage_->persistent()) return;
   std::vector<DurableRecord> records;
   records.push_back(DurableRecord::promise(view_));
-  records.push_back(DurableRecord::snapshot(snapshot.next_instance, Bytes(snapshot.state),
+  records.push_back(DurableRecord::snapshot(snapshot.next_instance, Bytes(*snapshot.state),
                                             Bytes(snapshot.reply_cache)));
   // Entries above the cut survive the rewrite: their acceptances (and any
   // decisions not yet covered by the snapshot) are still protocol state.
@@ -62,6 +64,14 @@ void Engine::persist_checkpoint(const SnapshotData& snapshot) {
 void Engine::restore_from_storage(std::vector<Effect>& out) {
   const RecoveredState& recovered = storage_->recovered();
   if (recovered.empty()) return;
+
+  if (lease_enabled()) {
+    // The crash lost whatever grant this replica had extended. Refuse every
+    // candidate (ourselves included) for a full lease window so a live
+    // leader's lease cannot be broken by our amnesia.
+    lease_granted_to_ = kGrantNobody;
+    lease_granted_until_ns_ = local_now_ns() + config_.lease_duration_ns;
+  }
 
   if (recovered.snapshot) {
     const DurableRecord& snapshot = *recovered.snapshot;
@@ -108,6 +118,8 @@ void Engine::on_message(ReplicaId from, const Message& message, std::vector<Effe
           handle_catchup_reply(from, m, out);
         } else if constexpr (std::is_same_v<T, SnapshotOffer>) {
           handle_snapshot_offer(from, m, out);
+        } else if constexpr (std::is_same_v<T, LeaseGrant>) {
+          handle_lease_grant(from, m);
         }
       },
       message);
@@ -123,6 +135,7 @@ void Engine::adopt_view(ViewId view, std::vector<Effect>& out) {
   role_ = Role::kFollower;
   prepare_ok_mask_ = 0;
   prepare_union_.clear();
+  reset_lease_leader_state();
   persist_promise();  // never answer a lower Prepare after a crash
   out.push_back(CancelAllRetransmits{});
   out.push_back(ViewChanged{view_, false});
@@ -147,6 +160,7 @@ void Engine::become_candidate(std::vector<Effect>& out) {
   prepare_from_ = log_.first_undecided();
   prepare_ok_mask_ = bit(self_);
   prepare_union_.clear();
+  reset_lease_leader_state();
   persist_promise();  // a candidacy is a promise to our own view
 
   // Seed the union with our own log suffix.
@@ -172,6 +186,10 @@ void Engine::become_candidate(std::vector<Effect>& out) {
 void Engine::handle_prepare(ReplicaId from, const Prepare& m, std::vector<Effect>& out) {
   if (m.view < view_) return;  // stale candidate; it will observe us later
   if (config_.leader_of_view(m.view) != from || from == self_) return;
+  // Lease vote refusal: while our grant to the current leader is live,
+  // answering would let a new leader commit inside the old lease. The
+  // candidate retransmits its Prepare, so refusal is deferral, not loss.
+  if (grant_blocks(from)) return;
   if (m.view > view_) adopt_view(m.view, out);
   // m.view == view_: idempotent re-reply to a retransmitted Prepare.
 
@@ -206,6 +224,7 @@ void Engine::handle_prepare_ok(ReplicaId from, const PrepareOk& m, std::vector<E
 
 void Engine::become_leader(std::vector<Effect>& out) {
   role_ = Role::kLeader;
+  reset_lease_leader_state();  // the lease is earned grant by grant, not by election
   out.push_back(CancelRetransmit{prepare_retransmit_key(view_)});
 
   // One past the highest instance any quorum member reported.
@@ -342,7 +361,9 @@ void Engine::try_deliver(std::vector<Effect>& out) {
 
 void Engine::on_heartbeat_timer(std::vector<Effect>& out) {
   if (role_ != Role::kLeader) return;
-  out.push_back(BroadcastMsg{Heartbeat{view_, log_.first_undecided()}});
+  const std::uint64_t sent_at = lease_enabled() ? local_now_ns() : 0;
+  out.push_back(BroadcastMsg{Heartbeat{view_, log_.first_undecided(), sent_at}});
+  if (lease_enabled()) refresh_lease();
 }
 
 void Engine::handle_heartbeat(ReplicaId from, const Heartbeat& m, std::vector<Effect>& out) {
@@ -350,11 +371,71 @@ void Engine::handle_heartbeat(ReplicaId from, const Heartbeat& m, std::vector<Ef
   if (config_.leader_of_view(m.view) != from) return;
   if (m.view > view_) adopt_view(m.view, out);
   known_leader_undecided_ = std::max(known_leader_undecided_, m.first_undecided);
+  if (lease_enabled() && m.sent_at_ns != 0) {
+    // Accepting the heartbeat grants the lease: promise not to vote for
+    // anyone else for a lease window on OUR clock, and echo the stamp so
+    // the leader can bound the grant on ITS clock.
+    lease_granted_to_ = from;
+    lease_granted_until_ns_ =
+        std::max(lease_granted_until_ns_, local_now_ns() + config_.lease_duration_ns);
+    out.push_back(SendTo{from, LeaseGrant{view_, m.sent_at_ns}});
+  }
 }
 
 void Engine::on_suspect_leader(std::vector<Effect>& out) {
   if (role_ == Role::kLeader) return;  // we do not suspect ourselves
+  // Our own grant also binds ourselves: hold candidacy until it expires
+  // (the failure detector keeps re-raising suspicion, so only deferral).
+  if (grant_blocks(self_)) return;
   become_candidate(out);
+}
+
+void Engine::handle_lease_grant(ReplicaId from, const LeaseGrant& m) {
+  if (!lease_enabled() || role_ != Role::kLeader || m.view != view_) return;
+  if (from >= grant_deadline_.size()) return;
+  const std::uint64_t duration = config_.lease_duration_ns;
+  const std::uint64_t margin = std::min(config_.lease_drift_margin_ns, duration);
+  // The grantor holds its promise for `duration` on its clock from heartbeat
+  // RECEIPT; converting from our SEND stamp is strictly conservative, and
+  // the margin absorbs clock-rate drift over the window.
+  grant_deadline_[from] =
+      std::max(grant_deadline_[from], m.echo_sent_at_ns + (duration - margin));
+  refresh_lease();
+}
+
+bool Engine::grant_blocks(ReplicaId candidate) const {
+  if (!lease_enabled()) return false;
+  // A leader whose computed lease is live is serving local reads on the
+  // promise that no one else can be elected meanwhile; it must hold that
+  // promise itself too. It receives no heartbeats, so it carries no grant
+  // state — without this check its vote alone could complete a candidate's
+  // quorum (n=3: candidate + old leader) inside the old lease.
+  if (role_ == Role::kLeader && candidate != self_ && local_now_ns() < lease_until_ns_) {
+    return true;
+  }
+  if (lease_granted_until_ns_ == 0) return false;
+  if (candidate == lease_granted_to_) return false;
+  return local_now_ns() < lease_granted_until_ns_;
+}
+
+void Engine::refresh_lease() {
+  if (!lease_enabled() || role_ != Role::kLeader) {
+    lease_until_ns_ = 0;
+    return;
+  }
+  // The lease holds while a QUORUM of replicas still refuses other
+  // candidates: our own (continuous, margin-free) self-grant plus the
+  // quorum'th-freshest follower echo.
+  std::vector<std::uint64_t> deadlines = grant_deadline_;
+  deadlines[self_] = local_now_ns() + config_.lease_duration_ns;
+  const auto nth = deadlines.begin() + (config_.quorum() - 1);
+  std::nth_element(deadlines.begin(), nth, deadlines.end(), std::greater<>());
+  lease_until_ns_ = *nth;
+}
+
+void Engine::reset_lease_leader_state() {
+  lease_until_ns_ = 0;
+  std::fill(grant_deadline_.begin(), grant_deadline_.end(), 0);
 }
 
 void Engine::on_catchup_timer(std::vector<Effect>& out) {
@@ -390,7 +471,7 @@ void Engine::handle_catchup_query(ReplicaId from, const CatchupQuery& m,
   if (m.from_instance < log_.base() && snapshot_provider_) {
     if (auto snapshot = snapshot_provider_()) {
       out.push_back(SendTo{
-          from, SnapshotOffer{snapshot->next_instance, snapshot->state,
+          from, SnapshotOffer{snapshot->next_instance, *snapshot->state,
                               snapshot->reply_cache}});
       return;
     }
@@ -426,7 +507,8 @@ void Engine::handle_snapshot_offer(ReplicaId /*from*/, const SnapshotOffer& m,
   if (next_deliver_ < m.next_instance) next_deliver_ = m.next_instance;
   if (next_instance_ < m.next_instance) next_instance_ = m.next_instance;
   // The installed snapshot replaces the truncated prefix on disk too.
-  persist_checkpoint(SnapshotData{m.next_instance, m.state, m.reply_cache});
+  persist_checkpoint(SnapshotData{m.next_instance, shared_state_bytes(Bytes(m.state)),
+                                  m.reply_cache});
   try_deliver(out);
 }
 

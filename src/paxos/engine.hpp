@@ -29,11 +29,25 @@
 //   * Decided instances are delivered in log order. Lagging replicas pull
 //     decided values via CatchupQuery; if the peer already truncated its
 //     log, it answers with a SnapshotOffer (state transfer).
+//
+// Leader leases (Config::read_path == kLease; docs/ARCHITECTURE.md "Read
+// path"): every heartbeat a follower accepts doubles as a lease grant —
+// the follower promises not to vote for (or become) another leader for
+// lease_duration_ns on its own clock, and echoes the heartbeat's send
+// stamp back in a LeaseGrant. The leader converts each echo into a
+// deadline on its own clock (echo + duration - drift margin) and holds
+// the lease while a quorum of deadlines (its own continuous self-grant
+// included) lies in the future: by quorum intersection no new leader can
+// be elected while the lease is held, so a lease-holding leader may serve
+// reads locally. Durations — never absolute remote timestamps — enter the
+// arithmetic, so constant clock offsets cancel; rate drift over one lease
+// window is covered by the margin.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <variant>
 #include <vector>
@@ -92,11 +106,18 @@ inline std::uint64_t propose_retransmit_key(InstanceId instance) { return instan
 inline std::uint64_t prepare_retransmit_key(ViewId view) { return (view << 1) | 1; }
 
 /// Snapshot data served to lagging peers; provided by the ServiceManager.
+/// `state` is an immutable shared buffer: a partitioned replica stitches
+/// ONE whole-replica manifest and hands the same allocation to all P
+/// engines instead of copying it per pipeline.
 struct SnapshotData {
   InstanceId next_instance = 0;
-  Bytes state;
+  std::shared_ptr<const Bytes> state = std::make_shared<const Bytes>();
   Bytes reply_cache;
 };
+
+inline std::shared_ptr<const Bytes> shared_state_bytes(Bytes bytes) {
+  return std::make_shared<const Bytes>(std::move(bytes));
+}
 
 class Engine {
  public:
@@ -138,6 +159,12 @@ class Engine {
   /// log below `next_instance` can be dropped.
   void on_local_snapshot(InstanceId next_instance);
 
+  /// Override the lease clock (tests). Default: Config::local_clock_ns(),
+  /// which already folds in the clock-fault injection knobs. Only the
+  /// lease logic reads time; under read_path=consensus the engine stays a
+  /// pure deterministic state machine.
+  void set_clock(std::function<std::uint64_t()> clock) { clock_ = std::move(clock); }
+
   // --- Queries --------------------------------------------------------------
 
   ViewId view() const { return view_; }
@@ -156,6 +183,14 @@ class Engine {
 
   const ReplicatedLog& log() const { return log_; }
 
+  /// Local-clock deadline until which this replica, as leader, holds a
+  /// quorum lease and may serve local reads. 0 unless a lease-mode leader
+  /// with a live quorum of grants.
+  std::uint64_t lease_until_ns() const { return lease_until_ns_; }
+  /// Local-clock deadline of the grant this replica, as follower, extended
+  /// to the current leader (0 when none active). Exposed for tests.
+  std::uint64_t lease_granted_until_ns() const { return lease_granted_until_ns_; }
+
  private:
   enum class Role { kFollower, kCandidate, kLeader };
 
@@ -168,6 +203,7 @@ class Engine {
   void handle_catchup_query(ReplicaId from, const CatchupQuery& m, std::vector<Effect>& out);
   void handle_catchup_reply(ReplicaId from, const CatchupReply& m, std::vector<Effect>& out);
   void handle_snapshot_offer(ReplicaId from, const SnapshotOffer& m, std::vector<Effect>& out);
+  void handle_lease_grant(ReplicaId from, const LeaseGrant& m);
 
   /// Adopt `view` as follower (higher view observed). No-op if not higher.
   void adopt_view(ViewId view, std::vector<Effect>& out);
@@ -197,6 +233,21 @@ class Engine {
 
   static std::uint64_t bit(ReplicaId id) { return 1ull << id; }
 
+  // Lease machinery (all no-ops under read_path=consensus).
+  /// Grant holder sentinel: blocks every candidate (post-restart hold-off,
+  /// when the pre-crash grant — if any — is unknowable).
+  static constexpr ReplicaId kGrantNobody = ~ReplicaId{0};
+  bool lease_enabled() const { return config_.read_path == ReadPath::kLease; }
+  std::uint64_t local_now_ns() const {
+    return clock_ ? clock_() : config_.local_clock_ns();
+  }
+  /// True while our grant to another replica's leadership is still live —
+  /// voting for (or becoming) a different leader would break the lease.
+  bool grant_blocks(ReplicaId candidate) const;
+  /// Recompute lease_until_ns_ from the per-replica grant deadlines.
+  void refresh_lease();
+  void reset_lease_leader_state();
+
   Config config_;
   ReplicaId self_;
   ReplicatedLog log_;
@@ -221,6 +272,13 @@ class Engine {
   // Catch-up state.
   InstanceId known_leader_undecided_ = 0;
   std::function<std::optional<SnapshotData>()> snapshot_provider_;
+
+  // Lease state (read_path=lease only; local-clock nanoseconds).
+  std::function<std::uint64_t()> clock_;
+  ReplicaId lease_granted_to_ = 0;            ///< follower: leader we granted to
+  std::uint64_t lease_granted_until_ns_ = 0;  ///< follower: grant deadline
+  std::vector<std::uint64_t> grant_deadline_;  ///< leader: per-replica echo deadlines
+  std::uint64_t lease_until_ns_ = 0;           ///< leader: quorum lease deadline
 
   Rng rng_;
 };

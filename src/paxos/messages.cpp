@@ -32,6 +32,7 @@ enum class Tag : std::uint8_t {
   kCatchupQuery = 6,
   kCatchupReply = 7,
   kSnapshotOffer = 8,
+  kLeaseGrant = 9,
 };
 
 struct Encoder {
@@ -69,6 +70,7 @@ struct Encoder {
     writer.u8(static_cast<std::uint8_t>(Tag::kHeartbeat));
     writer.u64(m.view);
     writer.u64(m.first_undecided);
+    writer.u64(m.sent_at_ns);
   }
   void operator()(const CatchupQuery& m) const {
     writer.u8(static_cast<std::uint8_t>(Tag::kCatchupQuery));
@@ -89,6 +91,11 @@ struct Encoder {
     writer.u64(m.next_instance);
     writer.bytes(m.state);
     writer.bytes(m.reply_cache);
+  }
+  void operator()(const LeaseGrant& m) const {
+    writer.u8(static_cast<std::uint8_t>(Tag::kLeaseGrant));
+    writer.u64(m.view);
+    writer.u64(m.echo_sent_at_ns);
   }
 };
 
@@ -154,6 +161,7 @@ WireMessage decode_message(std::span<const std::uint8_t> frame) {
       Heartbeat m;
       m.view = reader.u64();
       m.first_undecided = reader.u64();
+      m.sent_at_ns = reader.u64();
       wire.message = m;
       break;
     }
@@ -187,6 +195,13 @@ WireMessage decode_message(std::span<const std::uint8_t> frame) {
       wire.message = std::move(m);
       break;
     }
+    case Tag::kLeaseGrant: {
+      LeaseGrant m;
+      m.view = reader.u64();
+      m.echo_sent_at_ns = reader.u64();
+      wire.message = m;
+      break;
+    }
     default:
       throw DecodeError("unknown message tag");
   }
@@ -204,6 +219,7 @@ const char* message_name(const Message& message) {
     const char* operator()(const CatchupQuery&) const { return "CatchupQuery"; }
     const char* operator()(const CatchupReply&) const { return "CatchupReply"; }
     const char* operator()(const SnapshotOffer&) const { return "SnapshotOffer"; }
+    const char* operator()(const LeaseGrant&) const { return "LeaseGrant"; }
   };
   return std::visit(Namer{}, message);
 }

@@ -62,9 +62,15 @@ struct Accept {
 };
 
 /// Leader liveness beacon; `first_undecided` lets followers detect lag.
+/// `sent_at_ns` is the sender's local clock at send time; lease-mode
+/// followers echo it back in their LeaseGrant so the leader can bound the
+/// grant's validity entirely in its own clock (durations, not absolute
+/// timestamps — constant clock offsets cancel). Zero under read_path=
+/// consensus, where no grants flow.
 struct Heartbeat {
   ViewId view = 0;
   InstanceId first_undecided = 0;
+  std::uint64_t sent_at_ns = 0;
 };
 
 /// Request decided values for explicitly listed instances.
@@ -89,8 +95,19 @@ struct SnapshotOffer {
   Bytes reply_cache;             ///< serialized reply cache (at-most-once)
 };
 
+/// Follower -> leader: "I promise not to elect anyone else for
+/// lease_duration_ns on MY clock, measured from when I received the
+/// heartbeat whose send stamp I echo here." The leader converts the echo
+/// into a deadline on its own clock (echo + duration - drift margin) and
+/// holds the lease while a quorum of such deadlines is in the future.
+/// Only sent under read_path=lease.
+struct LeaseGrant {
+  ViewId view = 0;
+  std::uint64_t echo_sent_at_ns = 0;  ///< Heartbeat::sent_at_ns echoed back
+};
+
 using Message = std::variant<Prepare, PrepareOk, Propose, Accept, Heartbeat, CatchupQuery,
-                             CatchupReply, SnapshotOffer>;
+                             CatchupReply, SnapshotOffer, LeaseGrant>;
 
 /// Encode message with sender id (receiver needs it for vote counting).
 Bytes encode_message(ReplicaId from, const Message& message);

@@ -13,6 +13,7 @@ FailureDetector::FailureDetector(const Config& config, ReplicaId self, ReplicaIo
                                  std::vector<PartitionFeed> feeds)
     : config_(config), self_(self), replica_io_(replica_io), feeds_(std::move(feeds)),
       last_suspected_view_(feeds_.size(), UINT64_MAX),
+      last_suspect_push_ns_(feeds_.size(), 0),
       misaligned_since_ns_(feeds_.size(), 0) {}
 
 FailureDetector::~FailureDetector() { stop(); }
@@ -69,9 +70,13 @@ void FailureDetector::tick(std::uint64_t now) {
     if (is_leader) {
       if (heartbeat_due) {
         // Built from published atomics; slight staleness is harmless since
-        // both fields are monotonic.
+        // both fields are monotonic. In lease mode the send stamp (this
+        // node's warped clock) is what followers echo back as grants.
+        const std::uint64_t sent_at =
+            config_.read_path == ReadPath::kLease ? config_.local_clock_ns() : 0;
         replica_io_.broadcast(
-            paxos::Heartbeat{view, shared.first_undecided.load(std::memory_order_relaxed)},
+            paxos::Heartbeat{view, shared.first_undecided.load(std::memory_order_relaxed),
+                             sent_at},
             static_cast<std::uint32_t>(p));
       }
     } else if (leader != self_) {
@@ -84,9 +89,17 @@ void FailureDetector::tick(std::uint64_t now) {
           static_cast<std::uint64_t>(config_.n);
       const std::uint64_t deadline = config_.fd_suspect_timeout_ns +
                                      (rank - 1) * config_.fd_heartbeat_interval_ns * 2;
-      if (now > last && now - last > deadline && last_suspected_view_[p] != view) {
-        last_suspected_view_[p] = view;
-        feeds_[p].dispatcher->try_push(SuspectEvent{view});
+      // Re-raise a suspicion of the SAME view after another full deadline:
+      // a lease-mode engine defers candidacy while its grant to the silent
+      // leader is live, and would otherwise never hear about it again.
+      const bool renew = now > last_suspect_push_ns_[p] &&
+                         now - last_suspect_push_ns_[p] > deadline;
+      if (now > last && now - last > deadline &&
+          (last_suspected_view_[p] != view || renew)) {
+        if (feeds_[p].dispatcher->try_push(SuspectEvent{view})) {
+          last_suspected_view_[p] = view;
+          last_suspect_push_ns_[p] = now;
+        }
       }
     }
 

@@ -64,9 +64,11 @@ class FailureDetector {
 
   std::uint64_t last_heartbeat_ns_ = 0;
   std::uint64_t last_catchup_tick_ns_ = 0;
-  // Per partition: suspect each view once; when a partition's leader first
-  // diverged from partition 0's (0 = aligned).
+  // Per partition: suspect each view once per suspect deadline (lease-mode
+  // engines may defer acting on a suspicion while a grant is live); when a
+  // partition's leader first diverged from partition 0's (0 = aligned).
   std::vector<std::uint64_t> last_suspected_view_;
+  std::vector<std::uint64_t> last_suspect_push_ns_;
   std::vector<std::uint64_t> misaligned_since_ns_;
 
   std::mutex mu_;

@@ -84,6 +84,12 @@ void ProtocolThread::pull_proposals() {
 }
 
 void ProtocolThread::apply_effects() {
+  // Publish BEFORE any effect leaves this thread: once a Propose (or the
+  // local Deliver) is visible outside, a follower may decide, execute and
+  // ack the client within two network hops — any later lease read must
+  // already see a proposal_frontier covering that instance, or it could
+  // serve the old value while this replica's executor still lags.
+  publish();
   for (auto& effect : effects_) {
     std::visit(
         [&](auto& e) {
@@ -157,6 +163,8 @@ void ProtocolThread::release_durable_sends() {
 void ProtocolThread::publish() {
   shared_.window_in_use.store(engine_.window_in_use(), std::memory_order_relaxed);
   shared_.first_undecided.store(engine_.first_undecided(), std::memory_order_relaxed);
+  shared_.proposal_frontier.store(engine_.next_instance(), std::memory_order_relaxed);
+  shared_.lease_until_ns.store(engine_.lease_until_ns(), std::memory_order_release);
 }
 
 }  // namespace mcsmr::smr

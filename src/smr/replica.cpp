@@ -69,8 +69,8 @@ std::vector<RequestGate::Intake> Replica::intakes() {
   std::vector<RequestGate::Intake> intakes;
   intakes.reserve(partitions_.size());
   for (auto& partition : partitions_) {
-    intakes.push_back(
-        RequestGate::Intake{&partition->request_queue, &partition->reply_cache});
+    intakes.push_back(RequestGate::Intake{&partition->request_queue, &partition->reply_cache,
+                                          &partition->shared, partition->service.get()});
   }
   return intakes;
 }
@@ -133,7 +133,10 @@ void Replica::capture_manifest() {
     part.reply_cache = p->reply_cache.serialize();
     manifest.parts.push_back(std::move(part));
   }
-  const Bytes encoded = encode_manifest(manifest);
+  // ONE immutable buffer shared by every partition's snapshot slot: the
+  // manifest is identical for all P engines, and copying it P times was
+  // pure waste (tests assert buffer identity across slots).
+  const auto encoded = paxos::shared_state_bytes(encode_manifest(manifest));
   for (std::size_t q = 0; q < partitions_.size(); ++q) {
     auto snapshot = std::make_shared<paxos::SnapshotData>();
     snapshot->next_instance = manifest.parts[q].next_instance;

@@ -113,6 +113,11 @@ class Replica {
   }
   /// Barrier statistics (null with one partition).
   const CrossPartitionBarrier* barrier() const { return barrier_.get(); }
+  /// One pipeline's snapshot slot (tests assert the partitioned manifest
+  /// buffer is one shared allocation across all P slots).
+  std::shared_ptr<const paxos::SnapshotData> latest_snapshot(std::uint32_t partition) const {
+    return partitions_[partition]->service_manager->latest_snapshot();
+  }
   /// The stitched service state across all shards (next_instance per
   /// part included; reply caches omitted) — convergence checks in tests
   /// compare this across replicas and partition counts.

@@ -12,15 +12,40 @@
 // EVERY pipeline (under one mutex, so all streams see the same relative
 // submission order) and dedup against partition 0's cache — the partition
 // whose decided order fixes their execution order.
+//
+// Lease read fast-path (Config::read_path = lease): a read-only,
+// single-partition request on a leader holding a live lease is answered
+// directly from the local service — no Paxos instance, no batcher. The
+// ReadIndex-style protocol: capture read_point = proposal_frontier at
+// admission, wait for the pipeline's executed_frontier to reach it,
+// re-check the lease, and execute the read on the service. Any miss (not
+// leader, no lease, frontier lagging past the spin budget) falls back to
+// the consensus path — the fast path is an optimization, never a
+// requirement.
+//
+// Why the read point is the PROPOSAL frontier and not first_undecided:
+// every replica is a learner (Accepts are broadcast) and every executing
+// replica replies to clients, so a follower can decide, execute and ack
+// a write one network hop BEFORE this leader collects its own quorum for
+// it. A write acknowledged anywhere was, however, necessarily proposed
+// by this leader first — and proposal_frontier is published before any
+// Propose leaves the Protocol thread — so waiting for execution to reach
+// the proposal frontier covers every ack a client can have observed.
+// Safety across elections: the lease (paxos/engine.hpp) guarantees no
+// other replica can win an election — and thus commit writes — before
+// lease_until_ns on this node's clock; the drift margin baked into that
+// deadline dwarfs the re-check-to-read window.
 #pragma once
 
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "smr/client_proto.hpp"
 #include "smr/events.hpp"
 #include "smr/partition.hpp"
 #include "smr/reply_cache.hpp"
+#include "smr/service.hpp"
 #include "smr/shared_state.hpp"
 
 namespace mcsmr::smr {
@@ -30,6 +55,10 @@ class RequestGate {
   struct Intake {
     RequestQueue* requests = nullptr;
     ReplyCache* reply_cache = nullptr;
+    /// Lease read fast-path wiring (optional — null disables the fast
+    /// path for this pipeline and every request takes the consensus path).
+    SharedState* shared = nullptr;  ///< this pipeline's lease + frontier
+    Service* service = nullptr;     ///< this pipeline's shard
   };
 
   /// Single-pipeline convenience (legacy signature).
@@ -69,6 +98,9 @@ class RequestGate {
 
     PartitionRouter::Route route;
     if (router_ != nullptr) route = router_->route(frame.payload, frame.client_id);
+
+    if (!route.global && try_lease_read(frame, route.partition, out)) return out;
+
     ReplyCache& cache = *intakes_[route.global ? 0 : route.partition].reply_cache;
 
     const auto lookup = cache.lookup(frame.client_id, frame.seq);
@@ -110,6 +142,47 @@ class RequestGate {
   }
 
  private:
+  /// Serve a read-only request locally under the leader lease. True =
+  /// `out` is a kReplyNow answer; false = take the consensus path.
+  bool try_lease_read(const ClientRequestFrame& frame, std::uint32_t partition, Outcome& out) {
+    if (config_.read_path != ReadPath::kLease) return false;
+    const Intake& intake = intakes_[partition];
+    if (intake.service == nullptr || intake.shared == nullptr) return false;
+    const RequestClass cls = intake.service->classify(frame.payload);
+    if (!cls.read_only || cls.global) return false;
+
+    SharedState& pipe = *intake.shared;
+    const auto lease_live = [&] {
+      return pipe.is_leader.load(std::memory_order_relaxed) &&
+             pipe.lease_until_ns.load(std::memory_order_acquire) > config_.local_clock_ns();
+    };
+    const auto fall_back = [&] {
+      shared_.lease_read_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    };
+    if (!lease_live()) return fall_back();
+
+    // Read point: every write acknowledged before this read arrived was
+    // proposed by this leader below proposal_frontier (see the header
+    // comment — followers can ack BEFORE the leader decides, so
+    // first_undecided would be unsafe here). Wait (bounded) for execution
+    // to catch up, then re-check the lease — it may have expired while we
+    // spun, and a new leader may have committed writes by then.
+    const std::uint64_t read_point = pipe.proposal_frontier.load(std::memory_order_relaxed);
+    for (std::uint32_t spins = 0;
+         pipe.executed_frontier.load(std::memory_order_acquire) < read_point; ++spins) {
+      if (spins >= config_.lease_read_spin) return fall_back();
+      std::this_thread::yield();
+    }
+    if (!lease_live()) return fall_back();
+
+    out.action = Action::kReplyNow;
+    out.reply.status = ReplyStatus::kOk;
+    out.reply.payload = intake.service->execute(frame.payload);
+    shared_.lease_reads.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
   const Config& config_;
   std::vector<Intake> intakes_;
   const PartitionRouter* router_;

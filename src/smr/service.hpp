@@ -84,6 +84,14 @@ class Service {
   /// Apply one request; the returned bytes are sent to the client.
   virtual Bytes execute(const Bytes& request) = 0;
 
+  /// Announce the decided instance whose batch is about to execute (called
+  /// by the ServiceManager before dispatching the batch). Versioned
+  /// services stamp written keys with it — per-key last-write instance
+  /// numbers are what makes the lease read path's freshness bound cheap.
+  /// Deterministic: the decided sequence is identical on every replica.
+  /// Default: ignored.
+  virtual void note_instance(std::uint64_t /*instance*/) {}
+
   /// Classify a request for the dependency-aware parallel executor. Must
   /// be a pure function of the request bytes (it runs on the scheduler
   /// thread, possibly concurrently with execute() on workers). The
@@ -144,6 +152,12 @@ class KvService : public Service {
   enum class Op : std::uint8_t { kPut = 1, kGet = 2, kDel = 3, kCas = 4 };
 
   Bytes execute(const Bytes& request) override;
+  /// Versioned store: every written key records the Paxos instance that
+  /// last wrote it. The version is decided-sequence state (identical on
+  /// every replica), so it travels in snapshots.
+  void note_instance(std::uint64_t instance) override {
+    current_instance_.store(instance, std::memory_order_relaxed);
+  }
   /// GET is a read on its key; PUT/DEL/CAS are writes; malformed requests
   /// are global (they cannot name the state they touch).
   RequestClass classify(const Bytes& request) const override;
@@ -155,6 +169,20 @@ class KvService : public Service {
     return map_.size();
   }
 
+  /// A value together with the instance that last wrote its key. Served
+  /// by the lease read path and probed by staleness tests.
+  struct VersionedValue {
+    Bytes value;
+    std::uint64_t version = 0;
+  };
+  std::optional<VersionedValue> versioned_get(const std::string& key) const {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (auto it = map_.find(key); it != map_.end()) {
+      return VersionedValue{it->second.value, it->second.version};
+    }
+    return std::nullopt;
+  }
+
   // Client-side encoders.
   static Bytes make_put(const std::string& key, const Bytes& value);
   static Bytes make_get(const std::string& key);
@@ -164,12 +192,20 @@ class KvService : public Service {
   static std::optional<Bytes> parse_reply(const Bytes& reply);
 
  private:
+  struct Entry {
+    Bytes value;
+    std::uint64_t version = 0;  ///< instance of the last write to this key
+  };
   // execute() calls may overlap under the parallel executor (the scheduler
   // only serializes same-key writes), and tests/benches observe
   // snapshot()/size() from other threads while the cluster runs; the
   // guard makes both race-free (TSan job covers it).
   mutable std::mutex mu_;
-  std::map<std::string, Bytes> map_;
+  std::map<std::string, Entry> map_;
+  // Written by the ServiceManager before each batch, read inside execute()
+  // (possibly on an executor worker). Relaxed is enough: the scheduler's
+  // queue hand-off orders the store before any execute() of that batch.
+  std::atomic<std::uint64_t> current_instance_{0};
 };
 
 /// A Chubby-style lock service with lease-free explicit locks and fencing

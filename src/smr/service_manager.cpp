@@ -91,6 +91,12 @@ void ServiceManager::execute_batch(paxos::InstanceId instance, const Bytes& batc
     mark_instance_consumed(instance);
     return;
   }
+  // Stamp the deciding instance into the service before dispatch:
+  // versioned services record it as the per-key last-write version. The
+  // decided sequence is identical on every replica, so the stamps are too
+  // (a cross-partition request executes with every shard parked at the
+  // batch holding that request in its own stream — still deterministic).
+  service_.note_instance(instance);
   if (executor_) {
     execute_parallel(requests);
   } else {
@@ -110,6 +116,9 @@ void ServiceManager::mark_instance_consumed(paxos::InstanceId instance) {
   const std::uint64_t next = instance + 1;
   if (executed_instances_.load(std::memory_order_relaxed) < next) {
     executed_instances_.store(next, std::memory_order_relaxed);
+    // Release-publish AFTER the batch's effects are in the service: the
+    // lease read path acquires the frontier, then reads service state.
+    shared_.executed_frontier.store(next, std::memory_order_release);
   }
 }
 
@@ -193,7 +202,7 @@ void ServiceManager::maybe_snapshot(paxos::InstanceId instance) {
   // execute() is in flight on any executor worker.
   auto snapshot = std::make_shared<paxos::SnapshotData>();
   snapshot->next_instance = instance + 1;
-  snapshot->state = service_.snapshot();
+  snapshot->state = paxos::shared_state_bytes(service_.snapshot());
   snapshot->reply_cache = reply_cache_.serialize();
   {
     std::lock_guard<std::mutex> guard(snapshot_mu_);
@@ -208,6 +217,7 @@ void ServiceManager::handle_install(const SnapshotInstallEvent& event) {
     service_.install(event.state);
     reply_cache_.install(event.reply_cache);
     executed_instances_.store(event.next_instance, std::memory_order_relaxed);
+    shared_.executed_frontier.store(event.next_instance, std::memory_order_release);
     return;
   }
   // Partitioned: the offer carries a whole-replica manifest; install it

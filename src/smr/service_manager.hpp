@@ -86,6 +86,7 @@ class ServiceManager {
   /// Whole-replica manifest install fast-forwards sibling pipelines.
   void set_executed_instances(std::uint64_t next_instance) {
     executed_instances_.store(next_instance, std::memory_order_relaxed);
+    shared_.executed_frontier.store(next_instance, std::memory_order_release);
   }
 
   /// The parallel executor, if one is configured (benches/tests).

@@ -56,6 +56,7 @@ Bytes kv_reply(std::uint8_t status, const Bytes& result) {
 
 Bytes KvService::execute(const Bytes& request) {
   std::lock_guard<std::mutex> guard(mu_);
+  const std::uint64_t version = current_instance_.load(std::memory_order_relaxed);
   try {
     ByteReader reader(request);
     const auto op = static_cast<Op>(reader.u8());
@@ -64,18 +65,18 @@ Bytes KvService::execute(const Bytes& request) {
       case Op::kPut: {
         Bytes value = reader.bytes();
         Bytes old;
-        if (auto it = map_.find(key); it != map_.end()) old = it->second;
-        map_[key] = std::move(value);
+        if (auto it = map_.find(key); it != map_.end()) old = it->second.value;
+        map_[key] = Entry{std::move(value), version};
         return kv_reply(0, old);
       }
       case Op::kGet: {
-        if (auto it = map_.find(key); it != map_.end()) return kv_reply(0, it->second);
+        if (auto it = map_.find(key); it != map_.end()) return kv_reply(0, it->second.value);
         return kv_reply(0, {});
       }
       case Op::kDel: {
         Bytes old;
         if (auto it = map_.find(key); it != map_.end()) {
-          old = std::move(it->second);
+          old = std::move(it->second.value);
           map_.erase(it);
         }
         return kv_reply(0, old);
@@ -84,10 +85,10 @@ Bytes KvService::execute(const Bytes& request) {
         Bytes expected = reader.bytes();
         Bytes desired = reader.bytes();
         auto it = map_.find(key);
-        const Bytes current = it != map_.end() ? it->second : Bytes{};
+        const Bytes current = it != map_.end() ? it->second.value : Bytes{};
         Bytes result(1, 0);
         if (current == expected) {
-          map_[key] = std::move(desired);
+          map_[key] = Entry{std::move(desired), version};
           result[0] = 1;
         }
         return kv_reply(0, result);
@@ -119,9 +120,10 @@ Bytes KvService::snapshot() const {
   std::lock_guard<std::mutex> guard(mu_);
   ByteWriter writer;
   writer.u64(map_.size());
-  for (const auto& [key, value] : map_) {
+  for (const auto& [key, entry] : map_) {
     writer.str(key);
-    writer.bytes(value);
+    writer.bytes(entry.value);
+    writer.u64(entry.version);
   }
   return writer.take();
 }
@@ -133,7 +135,10 @@ void KvService::install(const Bytes& state) {
   const std::uint64_t count = reader.u64();
   for (std::uint64_t i = 0; i < count; ++i) {
     std::string key = reader.str();
-    map_[std::move(key)] = reader.bytes();
+    Entry entry;
+    entry.value = reader.bytes();
+    entry.version = reader.u64();
+    map_[std::move(key)] = std::move(entry);
   }
 }
 

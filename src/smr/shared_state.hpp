@@ -33,6 +33,22 @@ struct SharedState {
   std::atomic<bool> is_leader{false};
   std::atomic<std::uint32_t> window_in_use{0};
   std::atomic<std::uint64_t> first_undecided{0};
+  /// First instance NOT yet proposed by this leader — the lease read
+  /// path's read point. Published BEFORE any Propose leaves the Protocol
+  /// thread, so it covers every write any replica could have acked: all
+  /// replicas are learners (Accepts are broadcast) and a follower decides
+  /// — and replies to the client — one network hop BEFORE the leader
+  /// collects its own quorum, so the leader's first_undecided is NOT a
+  /// safe read point; its proposal frontier is.
+  std::atomic<std::uint64_t> proposal_frontier{0};
+  /// Local-clock deadline of the leader lease (0 = no lease). Read by the
+  /// ClientIO threads' lease read fast-path (see RequestGate::admit).
+  std::atomic<std::uint64_t> lease_until_ns{0};
+
+  // Written by the ServiceManager (Replica thread), read by ClientIO.
+  /// First instance NOT yet applied to the service — the read-point bound
+  /// of the lease read path (release/acquire paired with service state).
+  std::atomic<std::uint64_t> executed_frontier{0};
 
   // Written by ReplicaIORcv threads (one slot each), read by the FD.
   std::unique_ptr<std::atomic<std::uint64_t>[]> last_recv_ns;
@@ -53,6 +69,10 @@ struct SharedState {
   /// ServiceManager out of the backpressure cycle — the client retry is
   /// answered from the reply cache, preserving exactly-once.
   std::atomic<std::uint64_t> dropped_replies{0};
+  /// Lease read path: reads served locally without a Paxos instance, and
+  /// reads that fell back to consensus (no lease / frontier lag).
+  std::atomic<std::uint64_t> lease_reads{0};
+  std::atomic<std::uint64_t> lease_read_fallbacks{0};
 };
 
 }  // namespace mcsmr::smr

@@ -1,5 +1,7 @@
 #include "smr/swarm.hpp"
 
+#include <algorithm>
+
 #include "common/clock.hpp"
 #include "smr/service.hpp"
 #include "smr/transport.hpp"
@@ -50,8 +52,9 @@ void ClientSwarm::stop() {
 
 Bytes ClientSwarm::make_payload(const LogicalClient& client) const {
   if (params_.workload == Workload::kNull) return Bytes(params_.payload_bytes, 0x5A);
-  // kKv: key and value are pure functions of (client id, seq) so a retry
-  // resends byte-identical bytes (same route, same reply-cache identity).
+  // kKv: op, key and value are pure functions of (client id, seq) so a
+  // retry resends byte-identical bytes (same route, same reply-cache
+  // identity).
   const std::uint64_t draw = mix(client.id * 0x100000001B3ull + client.seq);
   const bool hot =
       params_.kv_conflict_pct > 0 &&
@@ -61,8 +64,25 @@ Bytes ClientSwarm::make_payload(const LogicalClient& client) const {
           : "k" + std::to_string(mix(draw) %
                                  static_cast<std::uint64_t>(
                                      params_.kv_keys > 0 ? params_.kv_keys : 1));
-  return KvService::make_put(key,
-                             Bytes(params_.payload_bytes, static_cast<std::uint8_t>(client.seq)));
+  const bool read = params_.read_pct > 0 &&
+                    static_cast<int>(mix(draw ^ 0xC0FFEEull) % 100) < params_.read_pct;
+  if (read) return KvService::make_get(key);
+  // The (client id, seq) stamp makes every written value globally unique,
+  // which is what lets a history checker tell which write a GET observed.
+  Bytes value(std::max<std::size_t>(params_.payload_bytes, 16), 0x5A);
+  ByteWriter stamp(16);
+  stamp.u64(client.id);
+  stamp.u64(client.seq);
+  const Bytes header = stamp.take();
+  std::copy(header.begin(), header.end(), value.begin());
+  return KvService::make_put(key, value);
+}
+
+void ClientSwarm::begin_operation(Worker& worker, LogicalClient& client) {
+  if (params_.observer != nullptr) {
+    params_.observer->on_invoke(client.id, client.seq, make_payload(client), mono_ns());
+  }
+  send_request(worker, client);
 }
 
 void ClientSwarm::send_request(Worker& worker, LogicalClient& client) {
@@ -82,7 +102,7 @@ void ClientSwarm::worker_loop(int index) {
   // Kick off every logical client's closed loop.
   for (auto& client : worker.clients) {
     client.seq = 1;
-    send_request(worker, client);
+    begin_operation(worker, client);
   }
 
   std::uint64_t last_retry_scan = mono_ns();
@@ -112,8 +132,12 @@ void ClientSwarm::worker_loop(int index) {
                   std::lock_guard<std::mutex> guard(worker.latency_mu);
                   worker.latency.record(now - client.sent_at_ns);
                 }
+                if (params_.observer != nullptr) {
+                  params_.observer->on_complete(client.id, client.seq,
+                                                decoded.reply.payload, now);
+                }
                 ++client.seq;  // closed loop: next request immediately
-                send_request(worker, client);
+                begin_operation(worker, client);
                 break;
               }
               case ReplyStatus::kRedirect: {

@@ -25,11 +25,27 @@ class ClientSwarm {
   /// What each logical client sends:
   ///   kNull — opaque fixed-size payloads (the paper's workload; only the
   ///           ordering path is exercised, NullService discards them);
-  ///   kKv   — KvService PUTs with a keyed footprint, so the executor and
-  ///           the partitioned pipelines see real conflicts. The payload
-  ///           is a pure function of (client id, seq): a retry carries
-  ///           byte-identical bytes, which keeps routing and dedup stable.
+  ///   kKv   — KvService PUTs/GETs with a keyed footprint, so the executor
+  ///           and the partitioned pipelines see real conflicts. The
+  ///           payload is a pure function of (client id, seq): a retry
+  ///           carries byte-identical bytes, which keeps routing and dedup
+  ///           stable. PUT values embed (client id, seq), making every
+  ///           write globally unique — what lets a history checker tell
+  ///           which write a GET observed.
   enum class Workload { kNull, kKv };
+
+  /// History hook for linearizability checking (tests/consistency/). Both
+  /// callbacks fire on the worker thread that owns the client, so events
+  /// of ONE client arrive in order; the recorder timestamps span the full
+  /// operation (an invoke is recorded once, before the first send — a
+  /// retry is the same operation, not a new one).
+  struct Observer {
+    virtual ~Observer() = default;
+    virtual void on_invoke(paxos::ClientId client, paxos::RequestSeq seq,
+                           const Bytes& payload, std::uint64_t now_ns) = 0;
+    virtual void on_complete(paxos::ClientId client, paxos::RequestSeq seq,
+                             const Bytes& reply, std::uint64_t now_ns) = 0;
+  };
 
   struct Params {
     int workers = 6;             ///< client machines (paper: 6)
@@ -40,6 +56,8 @@ class ClientSwarm {
     Workload workload = Workload::kNull;
     int kv_keys = 1024;       ///< key-space size (kKv)
     int kv_conflict_pct = 0;  ///< % of requests hitting one hot key (kKv)
+    int read_pct = 0;         ///< % of kKv requests that are GETs
+    Observer* observer = nullptr;  ///< optional; must outlive the swarm
   };
 
   ClientSwarm(net::SimNetwork& net, std::vector<net::NodeId> replica_nodes, Params params);
@@ -71,6 +89,8 @@ class ClientSwarm {
 
   void worker_loop(int index);
   void send_request(Worker& worker, LogicalClient& client);
+  /// First send of a fresh seq: records the invoke with the observer.
+  void begin_operation(Worker& worker, LogicalClient& client);
   Bytes make_payload(const LogicalClient& client) const;
 
   net::SimNetwork& net_;

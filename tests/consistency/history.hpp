@@ -1,0 +1,120 @@
+// Concurrent-history recorder for the KvService register model.
+//
+// Plugs into ClientSwarm::Observer (or is driven directly by test
+// clients): every operation is logged as an invoke/complete event pair
+// with wall-clock timestamps, then compiled into per-key sub-histories
+// for the linearizability checker (linearizability.hpp). Keys of a
+// key-value store are independent registers, so a history is
+// linearizable iff every per-key sub-history is — checking per key is
+// what keeps Wing–Gong tractable.
+//
+// Thread-safety: events arrive from many swarm worker threads; one mutex
+// guards the log. The recorder is a test fixture, not a hot path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smr/service.hpp"
+#include "smr/swarm.hpp"
+
+namespace mcsmr::consistency {
+
+/// One client operation against a single key, with its observation
+/// interval. A pending operation (no reply observed before shutdown) has
+/// complete_ns == 0 and an empty result.
+struct Operation {
+  enum class Kind { kGet, kPut, kDel, kCas };
+  Kind kind = Kind::kGet;
+  std::string key;
+  Bytes argument;             ///< PUT/CAS: the (desired) value written
+  Bytes expected;             ///< CAS only: the compare operand
+  Bytes result;               ///< GET: the value observed
+  std::uint64_t invoke_ns = 0;
+  std::uint64_t complete_ns = 0;  ///< 0 = pending at shutdown
+  bool pending() const { return complete_ns == 0; }
+};
+
+class HistoryRecorder : public smr::ClientSwarm::Observer {
+ public:
+  void on_invoke(paxos::ClientId client, paxos::RequestSeq seq, const Bytes& payload,
+                 std::uint64_t now_ns) override {
+    auto op = decode(payload);
+    if (!op.has_value()) return;  // non-KV payload: nothing to check
+    op->invoke_ns = now_ns;
+    std::lock_guard<std::mutex> guard(mu_);
+    open_.emplace(OpId{client, seq}, static_cast<std::uint32_t>(log_.size()));
+    log_.push_back(std::move(*op));
+  }
+
+  void on_complete(paxos::ClientId client, paxos::RequestSeq seq, const Bytes& reply,
+                   std::uint64_t now_ns) override {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = open_.find(OpId{client, seq});
+    if (it == open_.end()) return;
+    Operation& op = log_[it->second];
+    open_.erase(it);
+    op.complete_ns = now_ns;
+    if (op.kind == Operation::Kind::kGet) {
+      if (auto result = smr::KvService::parse_reply(reply)) op.result = std::move(*result);
+    }
+  }
+
+  /// The recorded history split by key (pending operations included —
+  /// the checker decides whether each took effect).
+  std::map<std::string, std::vector<Operation>> by_key() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    std::map<std::string, std::vector<Operation>> out;
+    for (const Operation& op : log_) out[op.key].push_back(op);
+    return out;
+  }
+
+  std::size_t recorded() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return log_.size();
+  }
+
+ private:
+  struct OpId {
+    paxos::ClientId client;
+    paxos::RequestSeq seq;
+    bool operator<(const OpId& other) const {
+      return client != other.client ? client < other.client : seq < other.seq;
+    }
+  };
+
+  /// Decode a KvService request into the register-model operation.
+  static std::optional<Operation> decode(const Bytes& payload) {
+    try {
+      ByteReader reader(payload);
+      const auto op_code = static_cast<smr::KvService::Op>(reader.u8());
+      Operation op;
+      op.key = reader.str();
+      switch (op_code) {
+        case smr::KvService::Op::kGet: op.kind = Operation::Kind::kGet; return op;
+        case smr::KvService::Op::kPut:
+          op.kind = Operation::Kind::kPut;
+          op.argument = reader.bytes();
+          return op;
+        case smr::KvService::Op::kDel: op.kind = Operation::Kind::kDel; return op;
+        case smr::KvService::Op::kCas:
+          op.kind = Operation::Kind::kCas;
+          op.expected = reader.bytes();
+          op.argument = reader.bytes();
+          return op;
+      }
+    } catch (const DecodeError&) {
+    }
+    return std::nullopt;
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Operation> log_;
+  std::map<OpId, std::uint32_t> open_;  ///< (client, seq) -> log index
+};
+
+}  // namespace mcsmr::consistency

@@ -1,0 +1,162 @@
+// Wing–Gong linearizability checker for the KvService register model.
+//
+// A history is linearizable iff there is a total order of its operations
+// that (a) respects real time — an operation that completed before
+// another was invoked comes first — and (b) is a legal run of the
+// sequential register: GET returns the current value ("" when absent),
+// PUT replaces it, DEL removes it, CAS replaces iff the current value
+// equals the compare operand. Keys are independent registers, so the
+// whole history is linearizable iff every per-key sub-history is
+// (P-compositionality) — which is what keeps the exponential search
+// tractable.
+//
+// The search is the classic Wing–Gong backtracking with Lowe-style
+// memoization: at each step any "minimal" unlinearized operation (none
+// other completed before it was invoked) may linearize next; visited
+// (linearized-set, register-state) pairs are never re-explored. Pending
+// operations (no reply seen before shutdown) may linearize any time
+// after their invoke OR never take effect — both branches are explored,
+// and the search only requires completed operations to be placed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "consistency/history.hpp"
+
+namespace mcsmr::consistency {
+
+struct Verdict {
+  bool linearizable = true;
+  /// True when the state budget ran out before a decision — treated as a
+  /// failure by tests (raise CheckOptions::max_states, not the budget of
+  /// doubt).
+  bool exhausted = false;
+  std::string offending_key;
+
+  explicit operator bool() const { return linearizable && !exhausted; }
+};
+
+struct CheckOptions {
+  /// Upper bound on explored (linearized-set, state) pairs per key.
+  std::size_t max_states = 4'000'000;
+};
+
+namespace detail {
+
+inline Bytes apply_op(const Operation& op, const Bytes& state) {
+  switch (op.kind) {
+    case Operation::Kind::kGet: return state;
+    case Operation::Kind::kPut: return op.argument;
+    case Operation::Kind::kDel: return Bytes{};
+    case Operation::Kind::kCas: return state == op.expected ? op.argument : state;
+  }
+  return state;
+}
+
+/// Depth-first search over linearization prefixes of one key's history.
+class KeyChecker {
+ public:
+  KeyChecker(const std::vector<Operation>& ops, const CheckOptions& options)
+      : ops_(ops), options_(options) {}
+
+  /// True = linearizable (or budget exhausted; see exhausted()).
+  bool run() {
+    std::vector<bool> linearized(ops_.size(), false);
+    return search(Bytes{}, linearized, count_completed());
+  }
+  bool exhausted() const { return exhausted_; }
+
+ private:
+  std::size_t count_completed() const {
+    std::size_t completed = 0;
+    for (const Operation& op : ops_) {
+      if (!op.pending()) ++completed;
+    }
+    return completed;
+  }
+
+  /// Pack (linearized set, state) into a memo key.
+  static std::string memo_key(const std::vector<bool>& linearized, const Bytes& state) {
+    std::string key;
+    key.reserve(linearized.size() / 8 + state.size() + 1);
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < linearized.size(); ++i) {
+      acc = static_cast<std::uint8_t>((acc << 1) | (linearized[i] ? 1 : 0));
+      if (i % 8 == 7) {
+        key.push_back(static_cast<char>(acc));
+        acc = 0;
+      }
+    }
+    key.push_back(static_cast<char>(acc));
+    key.append(state.begin(), state.end());
+    return key;
+  }
+
+  bool search(const Bytes& state, std::vector<bool>& linearized,
+              std::size_t remaining_completed) {
+    if (remaining_completed == 0) return true;  // pending ops may stay unplaced
+    if (exhausted_) return true;                // give up, inconclusive
+    if (!visited_.insert(memo_key(linearized, state)).second) return false;
+    if (visited_.size() > options_.max_states) {
+      exhausted_ = true;
+      return true;
+    }
+
+    // Real-time frontier: an operation may linearize next only if no
+    // OTHER unlinearized operation completed before it was invoked.
+    std::uint64_t min_complete = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (linearized[i] || ops_[i].pending()) continue;
+      min_complete = std::min(min_complete, ops_[i].complete_ns);
+    }
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (linearized[i]) continue;
+      const Operation& op = ops_[i];
+      if (op.invoke_ns > min_complete) continue;  // someone must go first
+      // A completed GET pins the state at its linearization point; a
+      // pending GET constrains nothing (its reply was never observed).
+      if (op.kind == Operation::Kind::kGet && !op.pending() && op.result != state) continue;
+      linearized[i] = true;
+      const bool done = search(apply_op(op, state), linearized,
+                               remaining_completed - (op.pending() ? 0 : 1));
+      linearized[i] = false;
+      if (done) return true;
+    }
+    return false;
+  }
+
+  const std::vector<Operation>& ops_;
+  const CheckOptions& options_;
+  std::unordered_set<std::string> visited_;
+  bool exhausted_ = false;
+};
+
+}  // namespace detail
+
+/// Check one key's sub-history in isolation.
+inline Verdict check_key(const std::string& key, const std::vector<Operation>& ops,
+                         const CheckOptions& options = {}) {
+  detail::KeyChecker checker(ops, options);
+  Verdict verdict;
+  verdict.linearizable = checker.run();
+  verdict.exhausted = checker.exhausted();
+  if (!verdict.linearizable || verdict.exhausted) verdict.offending_key = key;
+  return verdict;
+}
+
+/// Check a full recorded history: every per-key sub-history must be
+/// linearizable (keys are independent registers).
+inline Verdict check_history(const std::map<std::string, std::vector<Operation>>& by_key,
+                             const CheckOptions& options = {}) {
+  for (const auto& [key, ops] : by_key) {
+    const Verdict verdict = check_key(key, ops, options);
+    if (!verdict) return verdict;
+  }
+  return Verdict{};
+}
+
+}  // namespace mcsmr::consistency

@@ -298,9 +298,9 @@ TEST(Engine, SnapshotOfferedWhenLogTruncated) {
 
   // Leader snapshots at instance 5 and truncates its log; replica 1 too.
   cluster.engine(0).set_snapshot_provider(
-      [] { return SnapshotData{5, Bytes{0xAA}, Bytes{}}; });
+      [] { return SnapshotData{5, shared_state_bytes(Bytes{0xAA}), Bytes{}}; });
   cluster.engine(1).set_snapshot_provider(
-      [] { return SnapshotData{5, Bytes{0xAA}, Bytes{}}; });
+      [] { return SnapshotData{5, shared_state_bytes(Bytes{0xAA}), Bytes{}}; });
   std::vector<Effect> unused;
   cluster.engine(0).on_local_snapshot(5);
   cluster.engine(1).on_local_snapshot(5);

@@ -54,9 +54,16 @@ TEST(Messages, AcceptRoundTrip) {
 }
 
 TEST(Messages, HeartbeatRoundTrip) {
-  auto decoded = round_trip<Heartbeat>(0, Heartbeat{5, 1000});
+  auto decoded = round_trip<Heartbeat>(0, Heartbeat{5, 1000, 777});
   EXPECT_EQ(decoded.view, 5u);
   EXPECT_EQ(decoded.first_undecided, 1000u);
+  EXPECT_EQ(decoded.sent_at_ns, 777u);
+}
+
+TEST(Messages, LeaseGrantRoundTrip) {
+  auto decoded = round_trip<LeaseGrant>(0, LeaseGrant{9, 123456789});
+  EXPECT_EQ(decoded.view, 9u);
+  EXPECT_EQ(decoded.echo_sent_at_ns, 123456789u);
 }
 
 TEST(Messages, CatchupQueryRoundTrip) {

@@ -2,9 +2,13 @@
 // fault injection (drops, duplication, reorder jitter) — the system-level
 // analogue of the engine-level property tests. Asserts liveness under
 // faults plus the state-machine safety contract (identical service state
-// on every replica once healed).
+// on every replica once healed), and the lease read path's safety under
+// leader kill, asymmetric partition and clock skew (history replayed
+// through the linearizability checker).
 #include <gtest/gtest.h>
 
+#include "consistency/history.hpp"
+#include "consistency/linearizability.hpp"
 #include "sim_cluster.hpp"
 #include "smr/swarm.hpp"
 
@@ -285,6 +289,193 @@ TEST(ChaosTest, SwarmSurvivesLeaderChangeMidLoad) {
   const std::uint64_t after = swarm.completed();
   swarm.stop();
   EXPECT_GE(after, before_crash + 500) << "throughput did not recover after failover";
+}
+
+TEST(ChaosTest, LeaderKillDefersFailoverUntilGrantsExpire) {
+  // The lease's other half: after the leader dies mid-lease, NO successor
+  // may be elected until the grants the followers extended have provably
+  // expired — otherwise the (possibly still-running) old leader could
+  // serve local reads while the successor commits writes. The suspect
+  // timeout is set well below the lease so a premature election would be
+  // visible as a fast failover.
+  Config config;
+  config.read_path = ReadPath::kLease;
+  config.fd_suspect_timeout_ns = 100 * kMillis;
+  SimCluster cluster(config);
+  cluster.start();
+  ASSERT_TRUE(cluster.wait_for_leader().has_value());
+  EXPECT_TRUE(cluster.replica(0).is_leader());
+
+  // Let a few heartbeat rounds extend fresh grants, then kill the leader.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const std::uint64_t crashed_at = mono_ns();
+  cluster.crash(0);
+
+  // Survivors suspect at ~100 ms but must sit on their hands until their
+  // grants lapse (lease_duration past the last heartbeat receipt). The
+  // floor is conservative: the true bound is lease_duration minus one
+  // heartbeat interval (~450 ms with the defaults).
+  std::optional<ReplicaId> successor;
+  const std::uint64_t deadline = crashed_at + 10 * kSeconds;
+  while (mono_ns() < deadline && !successor.has_value()) {
+    for (ReplicaId id = 1; id < static_cast<ReplicaId>(cluster.config().n); ++id) {
+      if (cluster.replica(id).is_leader()) successor = id;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const std::uint64_t elected_at = mono_ns();
+  ASSERT_TRUE(successor.has_value()) << "no successor elected after leader kill";
+  EXPECT_GE(elected_at - crashed_at, 300 * kMillis)
+      << "successor elected inside the old lease window (stale-read hazard)";
+}
+
+TEST(ChaosTest, AsymmetricPartitionCannotUsurpLeaseHolder) {
+  // The hole this guards: an isolated follower whose grant expired starts
+  // campaigning; the OTHER follower still refuses (its grant is live), so
+  // the candidate's only path to a quorum is the leader's own vote. A
+  // leader serving reads on a live lease must refuse — otherwise the
+  // candidate commits writes inside the lease and the leader's local
+  // reads go stale. Cut only leader->follower2, leave the reverse
+  // direction open so the candidate's Prepares DO reach the leader.
+  Config config;
+  config.read_path = ReadPath::kLease;
+  config.fd_suspect_timeout_ns = 150 * kMillis;
+  SimCluster cluster(config, testing::fast_net(),
+                     [] { return std::make_unique<KvService>(); });
+  cluster.start();
+  ASSERT_TRUE(cluster.wait_for_leader().has_value());
+  ASSERT_TRUE(cluster.replica(0).is_leader());
+  const std::uint64_t view_before = cluster.replica(0).view();
+
+  consistency::HistoryRecorder recorder;
+  ClientSwarm::Params params;
+  params.workers = 2;
+  params.clients_per_worker = 6;
+  params.io_threads = cluster.config().client_io_threads;
+  params.workload = ClientSwarm::Workload::kKv;
+  params.kv_keys = 6;
+  params.read_pct = 50;
+  params.observer = &recorder;
+  ClientSwarm swarm(cluster.net(), cluster.nodes(), params);
+  swarm.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  net::FaultPlan cut;
+  cut.drop_prob = 1.0;
+  cluster.net().set_fault(cluster.nodes()[0], cluster.nodes()[2], cut);
+
+  // Replica 2 misses heartbeats, suspects, waits out its own grant, then
+  // campaigns — and must be refused by both the granted follower and the
+  // leaseholder for as long as the lease keeps refreshing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2000));
+  const std::uint64_t before_quiesce = swarm.completed();
+  swarm.stop();
+
+  EXPECT_TRUE(cluster.replica(0).is_leader())
+      << "leaseholder lost leadership to a candidate it should have refused";
+  EXPECT_EQ(cluster.replica(0).view(), view_before);
+  EXPECT_GT(before_quiesce, 200u) << "cluster stopped serving under the partition";
+  EXPECT_GT(cluster.replica(0).shared().lease_reads.load(std::memory_order_relaxed), 0u);
+  const auto verdict = consistency::check_history(recorder.by_key());
+  EXPECT_TRUE(verdict.linearizable)
+      << "stale read during asymmetric partition at key " << verdict.offending_key;
+  EXPECT_FALSE(verdict.exhausted);
+}
+
+TEST(ChaosTest, LeaseReadsStayLinearizableAcrossFailover) {
+  // End-to-end stale-read probe across an actual failover: a mixed
+  // GET/PUT swarm runs lease reads against the leader, the leader is
+  // killed mid-lease, clients retry onto the successor, and the FULL
+  // history — spanning reads served by the old leader, the outage, and
+  // writes committed by the new one — must linearize. If any election-
+  // safety clause let the successor commit inside the old lease while a
+  // stale local read slipped out, the checker would reject the history.
+  Config config;
+  config.read_path = ReadPath::kLease;
+  config.fd_suspect_timeout_ns = 150 * kMillis;
+  SimCluster cluster(config, testing::fast_net(),
+                     [] { return std::make_unique<KvService>(); });
+  cluster.start();
+  ASSERT_TRUE(cluster.wait_for_leader().has_value());
+
+  consistency::HistoryRecorder recorder;
+  ClientSwarm::Params params;
+  params.workers = 2;
+  params.clients_per_worker = 8;
+  params.io_threads = cluster.config().client_io_threads;
+  params.retry_timeout_ns = 500 * kMillis;
+  params.workload = ClientSwarm::Workload::kKv;
+  params.kv_keys = 8;
+  params.read_pct = 50;
+  params.observer = &recorder;
+  ClientSwarm swarm(cluster.net(), cluster.nodes(), params);
+  swarm.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  const std::uint64_t lease_reads_before_crash =
+      cluster.replica(0).shared().lease_reads.load(std::memory_order_relaxed);
+  EXPECT_GT(lease_reads_before_crash, 0u) << "lease path never engaged before the kill";
+  const std::uint64_t before_crash = swarm.completed();
+
+  cluster.crash(0);  // leaseholder dies under load
+
+  // The swarm must recover (election waits out the grants first) and make
+  // substantial progress against the successor.
+  const std::uint64_t deadline = mono_ns() + 15 * kSeconds;
+  while (mono_ns() < deadline && swarm.completed() < before_crash + 500) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const std::uint64_t after = swarm.completed();
+  swarm.stop();
+  EXPECT_GE(after, before_crash + 500) << "throughput did not recover after failover";
+
+  const auto verdict = consistency::check_history(recorder.by_key());
+  EXPECT_TRUE(verdict.linearizable)
+      << "stale read across failover at key " << verdict.offending_key;
+  EXPECT_FALSE(verdict.exhausted);
+}
+
+TEST(ChaosTest, ClockSkewWithinMarginStaysLinearizable) {
+  // Clock-fault injection: one follower runs 3% fast with a +50 ms offset,
+  // the other 1% slow. Offsets cancel in the grant protocol (each side
+  // uses only its own clock; the leader bounds grants via its echoed
+  // stamp) and 3% rate drift over a 500 ms lease is 15 ms — inside the
+  // 20 ms drift margin — so a fast clock must never surface as a stale
+  // read; it may only shorten the usable lease.
+  Config config;
+  config.read_path = ReadPath::kLease;
+  SimCluster cluster(
+      config, testing::fast_net(), [] { return std::make_unique<KvService>(); },
+      [](ReplicaId id, Config& node) {
+        if (id == 1) {
+          node.clock_rate_ppm = 30'000;
+          node.clock_offset_ns = 50 * kMillis;
+        }
+        if (id == 2) node.clock_rate_ppm = -10'000;
+      });
+  cluster.start();
+  ASSERT_TRUE(cluster.wait_for_leader().has_value());
+
+  consistency::HistoryRecorder recorder;
+  ClientSwarm::Params params;
+  params.workers = 2;
+  params.clients_per_worker = 8;
+  params.io_threads = cluster.config().client_io_threads;
+  params.workload = ClientSwarm::Workload::kKv;
+  params.kv_keys = 8;
+  params.read_pct = 50;
+  params.observer = &recorder;
+  ClientSwarm swarm(cluster.net(), cluster.nodes(), params);
+  swarm.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  swarm.stop();
+
+  EXPECT_GT(swarm.completed(), 200u);
+  EXPECT_GT(cluster.replica(0).shared().lease_reads.load(std::memory_order_relaxed), 0u)
+      << "lease path never engaged under in-margin skew";
+  const auto verdict = consistency::check_history(recorder.by_key());
+  EXPECT_TRUE(verdict.linearizable)
+      << "clock skew surfaced as a stale read at key " << verdict.offending_key;
+  EXPECT_FALSE(verdict.exhausted);
 }
 
 }  // namespace

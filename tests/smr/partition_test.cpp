@@ -178,7 +178,10 @@ TEST(CrossPartitionBarrier, QuiesceRunsWorkWithoutExecutingGlobals) {
 
 // --- cluster-level determinism ----------------------------------------------
 
-/// Decode a KvService snapshot into a plain map.
+/// Decode a (versioned) KvService snapshot into a plain value map. The
+/// per-key last-write instance travels after the value; state comparison
+/// here is value-level (versions are covered by state_manifest equality,
+/// which compares the raw snapshots including versions).
 std::map<std::string, Bytes> decode_kv(const Bytes& snapshot) {
   std::map<std::string, Bytes> map;
   ByteReader reader(snapshot);
@@ -186,6 +189,7 @@ std::map<std::string, Bytes> decode_kv(const Bytes& snapshot) {
   for (std::uint64_t i = 0; i < count; ++i) {
     std::string key = reader.str();
     map[std::move(key)] = reader.bytes();
+    reader.u64();  // last-write version
   }
   return map;
 }
@@ -285,6 +289,46 @@ TEST(PartitionedCluster, SinglePartitionIsTheLegacyPipeline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
   EXPECT_TRUE(identical());
+}
+
+TEST(PartitionedCluster, SnapshotSlotsShareOneManifestBuffer) {
+  // capture_manifest() encodes the whole-replica manifest ONCE and hands
+  // the same immutable buffer to every partition's snapshot slot. Copying
+  // it P times was pure waste — the manifest is identical for all engines.
+  // Pointer identity across slots is the contract.
+  Config config;
+  config.num_partitions = 3;
+  config.snapshot_interval_instances = 8;
+  SimCluster cluster(config, testing::fast_net(),
+                     [] { return std::make_unique<KvService>(); });
+  cluster.start();
+  auto leader = cluster.wait_for_leader();
+  ASSERT_TRUE(leader.has_value());
+
+  auto client = cluster.make_client(13);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(
+        client.call(KvService::make_put("k" + std::to_string(i % 8), Bytes{1})).has_value());
+  }
+
+  const Replica& replica = cluster.replica(*leader);
+  const std::uint64_t deadline = mono_ns() + 10 * kSeconds;
+  auto all_captured = [&] {
+    for (std::uint32_t p = 0; p < replica.num_partitions(); ++p) {
+      if (replica.latest_snapshot(p) == nullptr) return false;
+    }
+    return true;
+  };
+  while (mono_ns() < deadline && !all_captured()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(all_captured()) << "snapshot interval never fired";
+
+  const auto slot0 = replica.latest_snapshot(0);
+  for (std::uint32_t p = 1; p < replica.num_partitions(); ++p) {
+    EXPECT_EQ(slot0->state.get(), replica.latest_snapshot(p)->state.get())
+        << "partition " << p << " copied the manifest instead of sharing it";
+  }
 }
 
 TEST(PartitionedCluster, CrossPartitionLocksKeepFencingTokensUnique) {

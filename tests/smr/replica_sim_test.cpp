@@ -3,6 +3,7 @@
 // real queues and flow control — only the network is modeled.
 #include <gtest/gtest.h>
 
+#include "consistency/linearizability.hpp"
 #include "sim_cluster.hpp"
 #include "smr/swarm.hpp"
 
@@ -329,6 +330,47 @@ TEST(ReplicaSim, RingReplyPathBatchesWakeups) {
   } else {
     ::unsetenv("MCSMR_QUEUE_IMPL");
   }
+}
+
+TEST(ReplicaSim, KvHistoryIsLinearizable) {
+  // A mixed PUT/GET swarm with every operation logged, then replayed
+  // through the Wing–Gong checker. Rides the whole CTest matrix — queue
+  // impls, executors, partitions, storage AND read_path=lease, where the
+  // GETs are served locally off the leader lease and this verdict is the
+  // proof they stay linearizable.
+  SimCluster cluster(Config{}, testing::fast_net(),
+                     [] { return std::make_unique<KvService>(); });
+  cluster.start();
+  ASSERT_TRUE(cluster.wait_for_leader().has_value());
+
+  consistency::HistoryRecorder recorder;
+  ClientSwarm::Params params;
+  params.workers = 2;
+  params.clients_per_worker = 8;
+  params.io_threads = cluster.config().client_io_threads;
+  params.workload = ClientSwarm::Workload::kKv;
+  params.kv_keys = 8;   // few keys: real read/write interleaving per key
+  params.read_pct = 50;
+  params.observer = &recorder;
+  ClientSwarm swarm(cluster.net(), cluster.nodes(), params);
+  swarm.start();
+  std::this_thread::sleep_for(std::chrono::seconds(2));
+  swarm.stop();
+
+  EXPECT_GT(swarm.completed(), 200u);
+  if (cluster.config().read_path == ReadPath::kLease) {
+    // The fast path must actually engage under a stable leader.
+    EXPECT_GT(cluster.replica(*cluster.wait_for_leader())
+                  .shared()
+                  .lease_reads.load(std::memory_order_relaxed),
+              0u)
+        << "lease mode never served a local read";
+  }
+  const auto verdict = consistency::check_history(recorder.by_key());
+  EXPECT_TRUE(verdict.linearizable) << "history not linearizable at key "
+                                    << verdict.offending_key;
+  EXPECT_FALSE(verdict.exhausted) << "checker budget exhausted at key "
+                                  << verdict.offending_key;
 }
 
 TEST(ReplicaSim, NoLockRuleHoldsUnderLoad) {

@@ -1,13 +1,14 @@
 // Integration-test fixture: a full SimNet cluster of real threaded
 // replicas plus helper accessors.
 //
-// Four environment variables parameterize every cluster built here, and
+// Five environment variables parameterize every cluster built here, and
 // tests/CMakeLists.txt registers the replica_sim and chaos binaries extra
 // times with them set, so tier-1 exercises the full matrix:
 //   MCSMR_QUEUE_IMPL    ("mutex" | "ring")      -> Config::queue_impl
 //   MCSMR_EXECUTOR_IMPL ("serial" | "parallel") -> Config::executor_impl
 //   MCSMR_PARTITIONS    ("1", "2", ...)         -> Config::num_partitions
 //   MCSMR_LOG_STORAGE   ("memory" | "segment")  -> Config::log_storage
+//   MCSMR_READ_PATH     ("consensus" | "lease") -> Config::read_path
 //
 // Under segment storage each cluster gets a private temp log directory
 // (removed in the destructor) unless the test pinned Config::log_dir
@@ -46,6 +47,9 @@ inline Config apply_queue_impl_env(Config config) {
   if (const char* storage = std::getenv("MCSMR_LOG_STORAGE")) {
     config.apply_overrides({{"log_storage", storage}});
   }
+  if (const char* read_path = std::getenv("MCSMR_READ_PATH")) {
+    config.apply_overrides({{"read_path", read_path}});
+  }
   return config;
 }
 
@@ -69,10 +73,16 @@ inline net::SimNetParams fast_net() {
 class SimCluster {
  public:
   using ServiceFactory = std::function<std::unique_ptr<Service>()>;
+  /// Per-replica config mutation applied just before a replica is built
+  /// (and again on restart) — clock-fault injection tests warp one node's
+  /// Config::clock_offset_ns / clock_rate_ppm this way.
+  using ConfigTweak = std::function<void(ReplicaId, Config&)>;
 
   explicit SimCluster(Config config, net::SimNetParams net_params = fast_net(),
-                      ServiceFactory factory = [] { return std::make_unique<NullService>(); })
-      : config_(apply_queue_impl_env(config)), net_(net_params), factory_(std::move(factory)) {
+                      ServiceFactory factory = [] { return std::make_unique<NullService>(); },
+                      ConfigTweak tweak = nullptr)
+      : config_(apply_queue_impl_env(config)), net_(net_params), factory_(std::move(factory)),
+        tweak_(std::move(tweak)) {
     if (config_.log_storage == StorageImpl::kSegment &&
         config_.log_dir == Config{}.log_dir) {
       // The test didn't pin a directory: isolate this cluster's segments.
@@ -85,8 +95,9 @@ class SimCluster {
     for (int id = 0; id < config_.n; ++id) {
       // The factory is invoked once per partition inside create_sim, so
       // each pipeline gets its own shard instance.
-      replicas_.push_back(Replica::create_sim(config_, static_cast<ReplicaId>(id), net_,
-                                              nodes_, Replica::ServiceFactory(factory_)));
+      replicas_.push_back(Replica::create_sim(node_config(static_cast<ReplicaId>(id)),
+                                              static_cast<ReplicaId>(id), net_, nodes_,
+                                              Replica::ServiceFactory(factory_)));
     }
   }
 
@@ -131,7 +142,7 @@ class SimCluster {
     for (int t = 0; t < config_.client_io_threads; ++t) {
       net_.reset_inbox(nodes_[id], kClientIoChannelBase + static_cast<net::Channel>(t));
     }
-    replicas_[id] = Replica::create_sim(config_, id, net_, nodes_,
+    replicas_[id] = Replica::create_sim(node_config(id), id, net_, nodes_,
                                         Replica::ServiceFactory(factory_));
     replicas_[id]->start();
   }
@@ -158,9 +169,16 @@ class SimCluster {
   Replica& replica(ReplicaId id) { return *replicas_[id]; }
 
  private:
+  Config node_config(ReplicaId id) const {
+    Config config = config_;
+    if (tweak_) tweak_(id, config);
+    return config;
+  }
+
   Config config_;
   net::SimNetwork net_;
   ServiceFactory factory_;
+  ConfigTweak tweak_;
   std::vector<net::NodeId> nodes_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::string owned_log_dir_;  ///< temp segment dir to delete, if we made one
