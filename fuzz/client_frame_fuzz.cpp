@@ -1,0 +1,30 @@
+// Fuzz smr::decode_client_frame and smr::decode_leader_hint — every byte a
+// client (or anything that can reach the client port) sends a replica, and
+// the redirect payload a client parses back.
+#include "fuzz_util.hpp"
+#include "smr/client_proto.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  using namespace mcsmr;
+  const Bytes input(data, data + size);
+  try {
+    const smr::DecodedClientFrame frame = smr::decode_client_frame(input);
+    const Bytes again = frame.kind == smr::ClientFrameKind::kRequest
+                            ? smr::encode_client_request(frame.request)
+                            : smr::encode_client_reply(frame.reply);
+    FUZZ_ASSERT(fuzz::bytes_equal(again, input));
+    if (frame.kind == smr::ClientFrameKind::kReply &&
+        frame.reply.status == smr::ReplyStatus::kRedirect) {
+      // The redirect payload is itself untrusted; the hint parser must
+      // reject anything that is not exactly a u32.
+      (void)smr::decode_leader_hint(frame.reply.payload);
+    }
+  } catch (const DecodeError&) {
+  }
+  // The hint parser is total (optional, never throws) on arbitrary bytes.
+  const std::optional<ReplicaId> hint = smr::decode_leader_hint(input);
+  if (hint) {
+    FUZZ_ASSERT(smr::encode_leader_hint(*hint) == input);
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Fuzz paxos::decode_batch (and through it Request::decode) — the value
+// ordered by every consensus instance; replayed from disk and received in
+// Propose/CatchupReply/PrepareOk bodies.
+#include "fuzz_util.hpp"
+#include "paxos/types.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  using namespace mcsmr;
+  try {
+    const Bytes input(data, data + size);
+    const std::vector<paxos::Request> requests = paxos::decode_batch(input);
+    const Bytes again = paxos::encode_batch(requests);
+    FUZZ_ASSERT(fuzz::bytes_equal(again, input));
+    FUZZ_ASSERT(paxos::decode_batch(again) == requests);
+  } catch (const DecodeError&) {
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Fuzz paxos::decode_message — the peer-to-peer wire surface. Every frame a
+// replica receives from another replica funnels through this decoder.
+#include "fuzz_util.hpp"
+#include "paxos/messages.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  using namespace mcsmr;
+  try {
+    const paxos::WireMessage wire = paxos::decode_message(std::span(data, size));
+    // Canonical codec: a successful decode must re-encode byte-identically.
+    const Bytes again = paxos::encode_message(wire.from, wire.message);
+    FUZZ_ASSERT(fuzz::bytes_equal(again, std::span(data, size)));
+    const paxos::WireMessage twice = paxos::decode_message(again);
+    FUZZ_ASSERT(twice.from == wire.from);
+    FUZZ_ASSERT(twice.message.index() == wire.message.index());
+    (void)paxos::message_name(wire.message);
+  } catch (const DecodeError&) {
+    // Expected rejection of malformed input.
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Fuzz paxos::decode_record — the durable-log record payload codec. Segment
+// recovery feeds it every CRC-valid frame found on disk, so it must
+// fail-stop (DecodeError) on anything the encoder could not have produced.
+#include "fuzz_util.hpp"
+#include "paxos/storage.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  using namespace mcsmr;
+  try {
+    const paxos::DurableRecord record = paxos::decode_record(std::span(data, size));
+    const Bytes again = paxos::encode_record(record);
+    FUZZ_ASSERT(fuzz::bytes_equal(again, std::span(data, size)));
+    const paxos::DurableRecord twice = paxos::decode_record(again);
+    FUZZ_ASSERT(twice.type == record.type);
+    FUZZ_ASSERT(twice.view == record.view);
+    FUZZ_ASSERT(twice.instance == record.instance);
+    FUZZ_ASSERT(twice.value == record.value);
+    FUZZ_ASSERT(twice.reply_cache == record.reply_cache);
+  } catch (const DecodeError&) {
+  }
+  return 0;
+}

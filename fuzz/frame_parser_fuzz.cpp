@@ -1,0 +1,52 @@
+// Fuzz net::FrameParser incremental feeding — the length-prefix decoder on
+// every TCP socket. The same input is fed twice, once in one shot and once
+// chopped into input-derived chunk sizes; both parsers must surface the
+// identical frame sequence, agree on the overlong-frame verdict, and end
+// with the same number of buffered bytes.
+#include <vector>
+
+#include "fuzz_util.hpp"
+#include "net/frame.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  using namespace mcsmr;
+  if (size == 0) return 0;
+
+  // First byte seeds the chunking pattern; the rest is the byte stream.
+  const std::uint8_t pattern = data[0];
+  const std::span<const std::uint8_t> stream(data + 1, size - 1);
+
+  net::FrameParser whole;
+  std::vector<Bytes> whole_frames;
+  const bool whole_ok =
+      whole.feed(stream, [&](Bytes frame) { whole_frames.push_back(std::move(frame)); });
+
+  net::FrameParser chopped;
+  std::vector<Bytes> chopped_frames;
+  bool chopped_ok = true;
+  std::size_t offset = 0;
+  std::size_t step = static_cast<std::size_t>(pattern % 7) + 1;
+  while (offset < stream.size() && chopped_ok) {
+    const std::size_t n = std::min(step, stream.size() - offset);
+    chopped_ok = chopped.feed(stream.subspan(offset, n),
+                              [&](Bytes frame) { chopped_frames.push_back(std::move(frame)); });
+    offset += n;
+    step = step * 2 + 1;  // vary chunk sizes: 1..7, then growing
+  }
+
+  // An overlong length prefix stops both parsers; the chopped parser may
+  // stop one chunk earlier or later only in how many *frames* it got out
+  // before the poisoned prefix, never in frame content.
+  const std::size_t common = std::min(whole_frames.size(), chopped_frames.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    FUZZ_ASSERT(whole_frames[i] == chopped_frames[i]);
+  }
+  if (whole_ok && chopped_ok) {
+    FUZZ_ASSERT(whole_frames.size() == chopped_frames.size());
+    FUZZ_ASSERT(whole.pending_bytes() == chopped.pending_bytes());
+  } else {
+    // Both must reject: the offending prefix is in the stream either way.
+    FUZZ_ASSERT(!whole_ok && !chopped_ok);
+  }
+  return 0;
+}

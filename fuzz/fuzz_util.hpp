@@ -1,0 +1,44 @@
+// Shared helpers for the fuzz harnesses.
+//
+// Every harness is an `LLVMFuzzerTestOneInput` entry point: linked against
+// libFuzzer (`-fsanitize=fuzzer`) when the toolchain provides it, or against
+// fuzz/standalone_main.cpp (corpus replay + random mutation loop) when it
+// does not. Harness contract:
+//
+//   * a DecodeError (or StorageError for the recovery harness) is the
+//     expected rejection of malformed input — caught and ignored;
+//   * any other escape (UB, crash, unbounded allocation, failed round-trip
+//     assertion) is a bug;
+//   * when a decode succeeds, the harness re-encodes and asserts the exact
+//     input bytes come back (all mcsmr codecs are canonical: fixed-width
+//     little-endian fields, length-prefixed bytes, no-trailing-bytes
+//     checks), then decodes the re-encoding once more.
+//
+// FUZZ_ASSERT aborts instead of throwing so both libFuzzer and the
+// standalone driver register the failure as a crash and save the input.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+
+#include "common/bytes.hpp"
+
+namespace mcsmr::fuzz {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "FUZZ_ASSERT failed: %s (%s:%d)\n", expr, file, line);
+  std::abort();
+}
+
+inline bool bytes_equal(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+}  // namespace mcsmr::fuzz
+
+#define FUZZ_ASSERT(cond) \
+  ((cond) ? (void)0 : ::mcsmr::fuzz::assert_fail(#cond, __FILE__, __LINE__))

@@ -1,0 +1,217 @@
+// Seed-corpus generator: every seed is produced by the real encoders (the
+// round-trip property each harness asserts), so the fuzzers start from
+// well-formed inputs and mutate toward the interesting malformed
+// neighborhood. Regenerate after any codec change:
+//
+//   ./build/fuzz_gen_corpus fuzz/corpus
+//
+// and commit the result. The committed corpus also seeds the tier-1 codec
+// round-trip tests (tests/paxos, tests/smr), which replay it without a
+// fuzzer-enabled toolchain.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "net/frame.hpp"
+#include "paxos/messages.hpp"
+#include "paxos/storage.hpp"
+#include "smr/client_proto.hpp"
+#include "smr/partition.hpp"
+#include "smr/reply_cache.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace mcsmr;
+
+void write_seed(const std::string& root, const std::string& harness, const std::string& name,
+                const Bytes& data) {
+  const fs::path dir = fs::path(root) / harness;
+  fs::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s/%s\n", harness.c_str(), name.c_str());
+    std::exit(1);
+  }
+}
+
+Bytes payload_bytes(std::size_t n, std::uint8_t fill) { return Bytes(n, fill); }
+
+std::vector<paxos::Request> sample_requests() {
+  return {{1, 1, payload_bytes(16, 0xA1)},
+          {2, 7, payload_bytes(0, 0)},
+          {42, 1000, payload_bytes(128, 0x5C)}};
+}
+
+void gen_decode_message(const std::string& root) {
+  using namespace mcsmr::paxos;
+  const auto emit = [&](const std::string& name, const Message& m) {
+    write_seed(root, "decode_message", name, encode_message(/*from=*/2, m));
+  };
+  emit("prepare", Prepare{5, 17});
+  PrepareOk ok;
+  ok.view = 5;
+  ok.first_undecided = 17;
+  ok.entries = {{17, 4, true, encode_batch(sample_requests())}, {18, 5, false, {}}};
+  emit("prepare_ok", ok);
+  emit("propose", Propose{5, 18, encode_batch(sample_requests())});
+  emit("accept", Accept{5, 18});
+  emit("heartbeat", Heartbeat{5, 19, 123456789});
+  emit("catchup_query", CatchupQuery{10, {10, 11, 15}});
+  CatchupReply reply;
+  reply.decided = {{10, encode_batch(sample_requests())}, {11, encode_batch({})}};
+  emit("catchup_reply", reply);
+  emit("snapshot_offer", SnapshotOffer{20, payload_bytes(64, 0x33), payload_bytes(24, 0x44)});
+  emit("lease_grant", LeaseGrant{5, 987654321});
+}
+
+void gen_decode_batch(const std::string& root) {
+  write_seed(root, "decode_batch", "empty", paxos::encode_batch({}));
+  write_seed(root, "decode_batch", "three", paxos::encode_batch(sample_requests()));
+  write_seed(root, "decode_batch", "one_big",
+             paxos::encode_batch({{9, 2, payload_bytes(1300, 0xEE)}}));
+}
+
+void gen_decode_record(const std::string& root) {
+  using paxos::DurableRecord;
+  const auto emit = [&](const std::string& name, const DurableRecord& r) {
+    write_seed(root, "decode_record", name, paxos::encode_record(r));
+  };
+  emit("promise", DurableRecord::promise(7));
+  emit("accept", DurableRecord::accept(7, 21, paxos::encode_batch(sample_requests())));
+  emit("decide", DurableRecord::decide(21, paxos::encode_batch(sample_requests())));
+  emit("snapshot",
+       DurableRecord::snapshot(30, payload_bytes(48, 0x21), payload_bytes(16, 0x22)));
+}
+
+void gen_client_frame(const std::string& root) {
+  using namespace mcsmr::smr;
+  write_seed(root, "client_frame", "request",
+             encode_client_request({77, 3, 1, payload_bytes(32, 0x66)}));
+  write_seed(root, "client_frame", "reply_ok",
+             encode_client_reply({77, 3, ReplyStatus::kOk, payload_bytes(8, 0x01)}));
+  write_seed(root, "client_frame", "reply_redirect",
+             encode_client_reply({77, 3, ReplyStatus::kRedirect, encode_leader_hint(2)}));
+  write_seed(root, "client_frame", "reply_retry",
+             encode_client_reply({77, 4, ReplyStatus::kRetry, {}}));
+  write_seed(root, "client_frame", "hint_only", encode_leader_hint(1));
+}
+
+void gen_decode_manifest(const std::string& root) {
+  using smr::PartitionManifest;
+  const auto emit = [&](const std::string& name, const PartitionManifest& m) {
+    write_seed(root, "decode_manifest", name, smr::encode_manifest(m));
+  };
+  emit("empty", {});
+  emit("one_part", {{{12, payload_bytes(40, 0x10), payload_bytes(12, 0x11)}}});
+  emit("three_parts", {{{5, payload_bytes(20, 0x01), {}},
+                        {9, {}, payload_bytes(8, 0x02)},
+                        {0, payload_bytes(1, 0x03), payload_bytes(1, 0x04)}}});
+}
+
+void gen_frame_parser(const std::string& root) {
+  const auto emit = [&](const std::string& name, std::uint8_t pattern, const Bytes& stream) {
+    Bytes seed;
+    seed.push_back(pattern);
+    seed.insert(seed.end(), stream.begin(), stream.end());
+    write_seed(root, "frame_parser", name, seed);
+  };
+  const Bytes one = net::frame_message(paxos::encode_batch(sample_requests()));
+  Bytes three;
+  for (const Bytes& f : {net::frame_message({}), one, net::frame_message(payload_bytes(5, 0x77))}) {
+    three.insert(three.end(), f.begin(), f.end());
+  }
+  emit("one_frame_whole", 0, one);
+  emit("three_frames_chopped", 3, three);
+  Bytes torn = one;
+  torn.resize(torn.size() / 2);
+  emit("torn_tail", 1, torn);
+}
+
+void gen_reply_cache(const std::string& root) {
+  smr::ReplyCache empty(4);
+  write_seed(root, "reply_cache", "empty", empty.serialize());
+  smr::ReplyCache cache(4);
+  cache.update(1, 10, payload_bytes(8, 0x01));
+  cache.update(2, 5, {});
+  cache.update(900, 1, payload_bytes(32, 0x02));
+  write_seed(root, "reply_cache", "three_entries", cache.serialize());
+}
+
+// Produce real on-disk segment images through SegmentStorage itself so the
+// seeds track the exact file format (magic, version, frame layout).
+void gen_segment_recovery(const std::string& root) {
+  const fs::path tmp = fs::temp_directory_path() / "mcsmr-gen-corpus-seg";
+  fs::remove_all(tmp);
+  Bytes image;
+  {
+    paxos::SegmentStorageOptions options;
+    options.dir = tmp.string();
+    paxos::SegmentStorage storage(options);
+    storage.append(paxos::DurableRecord::promise(3));
+    storage.append(
+        paxos::DurableRecord::accept(3, 1, paxos::encode_batch(sample_requests())));
+    storage.append(paxos::DurableRecord::decide(1, paxos::encode_batch(sample_requests())));
+    storage.sync();
+  }
+  {
+    std::ifstream in(tmp / "seg-00000001.mcl", std::ios::binary);
+    image.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  fs::remove_all(tmp);
+  if (image.empty()) {
+    std::fprintf(stderr, "segment image generation failed\n");
+    std::exit(1);
+  }
+
+  // Harness input layout: first byte 0 = single segment, else the rest is
+  // split proportionally (split = len * b / 255) across two segments.
+  Bytes single;
+  single.push_back(0);
+  single.insert(single.end(), image.begin(), image.end());
+  write_seed(root, "segment_recovery", "one_segment", single);
+
+  Bytes torn = image;
+  torn.resize(torn.size() - 3);
+  Bytes torn_seed;
+  torn_seed.push_back(0);
+  torn_seed.insert(torn_seed.end(), torn.begin(), torn.end());
+  write_seed(root, "segment_recovery", "torn_tail", torn_seed);
+
+  // Find a split byte that lands exactly on the image boundary so the seed
+  // decodes as two whole segments. The second copy may need a few bytes of
+  // zero padding for an integral split to exist; padding past the last
+  // valid frame is a legal torn tail on the newest segment.
+  for (std::size_t pad = 0; pad < 600; ++pad) {
+    const std::size_t body = image.size() * 2 + pad;
+    for (std::uint32_t b = 1; b < 256; ++b) {
+      if (body * b / 255 != image.size()) continue;
+      Bytes two;
+      two.push_back(static_cast<std::uint8_t>(b));
+      two.insert(two.end(), image.begin(), image.end());
+      two.insert(two.end(), image.begin(), image.end());
+      two.resize(1 + body, 0);
+      write_seed(root, "segment_recovery", "two_segments", two);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string root = argc > 1 ? argv[1] : "fuzz/corpus";
+  gen_decode_message(root);
+  gen_decode_batch(root);
+  gen_decode_record(root);
+  gen_client_frame(root);
+  gen_decode_manifest(root);
+  gen_frame_parser(root);
+  gen_reply_cache(root);
+  gen_segment_recovery(root);
+  std::printf("seed corpora written under %s\n", root.c_str());
+  return 0;
+}

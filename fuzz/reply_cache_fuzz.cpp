@@ -1,0 +1,51 @@
+// Fuzz smr::ReplyCache::install — the serialized reply cache arrives inside
+// SnapshotOffer bodies from peers, so it is an untrusted-byte surface.
+// install() is clear-then-replay; a DecodeError mid-replay is the expected
+// rejection. Serialization order depends on shard/hash iteration, so the
+// round-trip assertion compares the decoded entry *sets* (serialize ->
+// install -> serialize must preserve exactly the entries), not byte order.
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "fuzz_util.hpp"
+#include "smr/reply_cache.hpp"
+
+namespace {
+
+using Entry = std::tuple<mcsmr::paxos::ClientId, mcsmr::paxos::RequestSeq, mcsmr::Bytes>;
+
+// Decode the (count, [client, seq, reply]...) layout ReplyCache::serialize
+// writes, sorted for order-insensitive comparison.
+std::vector<Entry> decode_entries(const mcsmr::Bytes& data) {
+  mcsmr::ByteReader reader(data);
+  const std::uint64_t count = reader.u64();
+  std::vector<Entry> entries;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t client = reader.u64();
+    const std::uint64_t seq = reader.u64();
+    entries.emplace_back(client, seq, reader.bytes());
+  }
+  FUZZ_ASSERT(reader.at_end());
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  using namespace mcsmr;
+  const Bytes input(data, data + size);
+  smr::ReplyCache cache(/*stripes=*/8);
+  try {
+    cache.install(input);
+  } catch (const DecodeError&) {
+    return 0;
+  }
+  const Bytes first = cache.serialize();
+  smr::ReplyCache second_cache(/*stripes=*/8);
+  second_cache.install(first);  // must not throw: we produced these bytes
+  const Bytes second = second_cache.serialize();
+  FUZZ_ASSERT(decode_entries(first) == decode_entries(second));
+  return 0;
+}

@@ -1,0 +1,204 @@
+// Fallback fuzzing driver for toolchains without libFuzzer (gcc).
+//
+// Accepts the subset of the libFuzzer command line the fuzz_smoke tests and
+// CI use, so the same invocation works against either runtime:
+//
+//   fuzz_<harness> [-runs=N] [-max_total_time=SECONDS] [-seed=N]
+//                  [-artifact_prefix=PATH/] [corpus dir|file]...
+//
+// Behavior: replay every corpus input once, then (when -runs or
+// -max_total_time is given) run a random mutation loop over the corpus.
+// Unknown -flags are ignored. A crash (abort, signal, uncaught exception)
+// writes the offending input to <artifact_prefix>crash-<pid> before the
+// process dies, mirroring libFuzzer's artifact convention so CI can upload
+// it. This driver is coverage-blind — real exploration happens under
+// clang/libFuzzer in CI — but it exercises every seed and a few hundred
+// thousand mutants per smoke run, which is what a tier-1 gate needs.
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+using Input = std::vector<std::uint8_t>;
+
+constexpr std::size_t kMaxInputBytes = 1u << 20;  // 1 MiB mutants, like -max_len
+
+// The input being executed, exposed for the crash handler (async-signal
+// safety: the handler only calls open/write/_exit).
+const std::uint8_t* g_current_data = nullptr;
+std::size_t g_current_size = 0;
+char g_artifact_path[4096] = "crash-unknown";
+
+void crash_handler(int sig) {
+  const int fd = ::open(g_artifact_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    std::size_t off = 0;
+    while (off < g_current_size) {
+      const ssize_t w = ::write(fd, g_current_data + off, g_current_size - off);
+      if (w <= 0) break;
+      off += static_cast<std::size_t>(w);
+    }
+    ::close(fd);
+  }
+  // Re-raise with default disposition so the exit status reports the signal.
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void run_one(const Input& input) {
+  g_current_data = input.data();
+  g_current_size = input.size();
+  LLVMFuzzerTestOneInput(input.data(), input.size());
+}
+
+void load_inputs(const std::string& path, std::vector<Input>& out) {
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    for (const auto& entry : fs::directory_iterator(path, ec)) {
+      if (entry.is_regular_file()) load_inputs(entry.path().string(), out);
+    }
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  Input data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (data.size() <= kMaxInputBytes) out.push_back(std::move(data));
+}
+
+Input mutate(const std::vector<Input>& corpus, std::mt19937_64& rng) {
+  Input input;
+  if (!corpus.empty()) input = corpus[rng() % corpus.size()];
+  const int rounds = 1 + static_cast<int>(rng() % 4);
+  for (int r = 0; r < rounds; ++r) {
+    switch (rng() % 6) {
+      case 0:  // flip a bit
+        if (!input.empty()) {
+          input[rng() % input.size()] ^= static_cast<std::uint8_t>(1u << (rng() % 8));
+        }
+        break;
+      case 1:  // overwrite a byte
+        if (!input.empty()) input[rng() % input.size()] = static_cast<std::uint8_t>(rng());
+        break;
+      case 2: {  // insert a random byte
+        if (input.size() < kMaxInputBytes) {
+          input.insert(input.begin() + static_cast<std::ptrdiff_t>(rng() % (input.size() + 1)),
+                       static_cast<std::uint8_t>(rng()));
+        }
+        break;
+      }
+      case 3:  // truncate
+        if (!input.empty()) input.resize(rng() % input.size());
+        break;
+      case 4: {  // splice a window from another corpus item
+        if (!corpus.empty()) {
+          const Input& other = corpus[rng() % corpus.size()];
+          if (!other.empty() && input.size() < kMaxInputBytes) {
+            const std::size_t from = rng() % other.size();
+            const std::size_t len = 1 + rng() % (other.size() - from);
+            const std::size_t at = rng() % (input.size() + 1);
+            input.insert(input.begin() + static_cast<std::ptrdiff_t>(at),
+                         other.begin() + static_cast<std::ptrdiff_t>(from),
+                         other.begin() + static_cast<std::ptrdiff_t>(from + len));
+          }
+        }
+        break;
+      }
+      case 5: {  // overwrite with an interesting value (counts, length prefixes)
+        static const std::uint32_t kInteresting[] = {
+            0,
+            1,
+            0x7F,
+            0xFF,
+            0x100,
+            0x7FFF,
+            0xFFFF,
+            0x10000,
+            0x7FFFFFFF,
+            0xFFFFFFFF,
+            64u << 20,
+            (64u << 20) + 1,
+        };
+        if (input.size() >= 4) {
+          const std::size_t n = sizeof kInteresting / sizeof *kInteresting;
+          const std::uint32_t v = kInteresting[rng() % n];
+          const std::size_t at = rng() % (input.size() - 3);
+          for (std::size_t i = 0; i < 4; ++i) {
+            input[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+          }
+        }
+        break;
+      }
+    }
+  }
+  if (input.size() > kMaxInputBytes) input.resize(kMaxInputBytes);
+  return input;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long runs = -1;
+  long long max_total_time = 0;
+  std::uint64_t seed = 0;
+  std::string artifact_prefix;
+  std::vector<Input> corpus;
+  bool have_corpus_arg = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::stoll(arg.substr(6));
+    } else if (arg.rfind("-max_total_time=", 0) == 0) {
+      max_total_time = std::stoll(arg.substr(16));
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = std::stoull(arg.substr(6));
+    } else if (arg.rfind("-artifact_prefix=", 0) == 0) {
+      artifact_prefix = arg.substr(17);
+    } else if (!arg.empty() && arg[0] == '-') {
+      // Ignore other libFuzzer flags (-rss_limit_mb, -timeout, ...).
+    } else {
+      have_corpus_arg = true;
+      load_inputs(arg, corpus);
+    }
+  }
+  std::snprintf(g_artifact_path, sizeof g_artifact_path, "%scrash-%d",
+                artifact_prefix.c_str(), static_cast<int>(::getpid()));
+  for (const int sig : {SIGABRT, SIGSEGV, SIGBUS, SIGFPE, SIGILL}) {
+    ::signal(sig, crash_handler);
+  }
+
+  std::fprintf(stderr, "standalone fuzz driver: %zu corpus inputs\n", corpus.size());
+  for (const Input& input : corpus) run_one(input);
+
+  long long executed = static_cast<long long>(corpus.size());
+  if (runs >= 0 || max_total_time > 0) {
+    if (seed == 0) seed = static_cast<std::uint64_t>(::getpid()) * 2654435761u + 1;
+    std::mt19937_64 rng(seed);
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(max_total_time);
+    while (true) {
+      if (runs >= 0 && executed >= runs) break;
+      if (max_total_time > 0 && std::chrono::steady_clock::now() >= deadline) break;
+      if (runs < 0 && max_total_time == 0) break;
+      run_one(mutate(corpus, rng));
+      ++executed;
+    }
+  } else if (!have_corpus_arg) {
+    std::fprintf(stderr, "no corpus and no -runs/-max_total_time: nothing to do\n");
+  }
+  std::fprintf(stderr, "standalone fuzz driver: done, %lld execs\n", executed);
+  return 0;
+}

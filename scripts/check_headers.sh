@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Verify every public header under src/ compiles as a standalone
-# translation unit (catches missing includes that transitive inclusion
-# would hide). Usage: scripts/check_headers.sh [compiler]
+# Verify every public header under src/ and fuzz/ compiles as a
+# standalone translation unit (catches missing includes that transitive
+# inclusion would hide). Usage: scripts/check_headers.sh [compiler]
 set -u
 cd "$(dirname "$0")/.."
 cxx="${1:-g++}"
@@ -10,13 +10,16 @@ trap 'rm -rf "$tmp"' EXIT
 
 fail=0
 while IFS= read -r header; do
-  echo "#include \"${header#src/}\"" > "$tmp/tu.cpp"
-  if ! "$cxx" -std=c++20 -Isrc -fsyntax-only "$tmp/tu.cpp" 2> "$tmp/err.txt"; then
+  case "$header" in
+    src/*) echo "#include \"${header#src/}\"" > "$tmp/tu.cpp" ;;
+    *) echo "#include \"$header\"" > "$tmp/tu.cpp" ;;
+  esac
+  if ! "$cxx" -std=c++20 -Isrc -I. -fsyntax-only "$tmp/tu.cpp" 2> "$tmp/err.txt"; then
     echo "FAIL: $header"
     sed 's/^/    /' "$tmp/err.txt" | head -10
     fail=1
   fi
-done < <(find src -name '*.hpp' | sort)
+done < <(find src fuzz -name '*.hpp' | sort)
 
 if [ "$fail" -eq 0 ]; then
   echo "OK: all headers are self-contained"

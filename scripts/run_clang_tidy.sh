@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Run the curated .clang-tidy profile over the core library + fuzz tree
+# (the CI `tidy` job, blocking). Needs a compile_commands.json:
+#
+#   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+#   scripts/run_clang_tidy.sh [build-dir] [clang-tidy-binary]
+set -u
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+tidy="${2:-clang-tidy}"
+
+if [ ! -f "$build/compile_commands.json" ]; then
+  echo "error: $build/compile_commands.json not found" >&2
+  echo "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON first" >&2
+  exit 2
+fi
+if ! command -v "$tidy" > /dev/null; then
+  echo "error: $tidy not installed" >&2
+  exit 2
+fi
+
+# Core library and fuzz harnesses gate; tests/bench ride the same profile
+# once the core is clean (run them locally with a wider file list).
+files="$(find src fuzz -name '*.cpp' | sort)"
+
+if command -v run-clang-tidy > /dev/null; then
+  # shellcheck disable=SC2086
+  run-clang-tidy -clang-tidy-binary "$tidy" -p "$build" -quiet $files
+else
+  # shellcheck disable=SC2086
+  "$tidy" -p "$build" --quiet $files
+fi

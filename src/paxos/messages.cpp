@@ -1,5 +1,7 @@
 #include "paxos/messages.hpp"
 
+#include <algorithm>
+
 namespace mcsmr::paxos {
 
 Bytes encode_batch(const std::vector<Request>& requests) {
@@ -15,7 +17,10 @@ std::vector<Request> decode_batch(const Bytes& value) {
   ByteReader reader(value);
   const std::uint32_t count = reader.u32();
   std::vector<Request> requests;
-  requests.reserve(count);
+  // Clamp the reservation to what the input could actually hold (each
+  // request is >= 20 bytes encoded) so a hostile count can't force a
+  // multi-gigabyte allocation before the truncation check fires.
+  requests.reserve(std::min<std::size_t>(count, reader.remaining() / 20));
   for (std::uint32_t i = 0; i < count; ++i) requests.push_back(Request::decode(reader));
   if (!reader.at_end()) throw DecodeError("trailing bytes after batch");
   return requests;
@@ -130,12 +135,17 @@ WireMessage decode_message(std::span<const std::uint8_t> frame) {
       m.view = reader.u64();
       m.first_undecided = reader.u64();
       const std::uint32_t count = reader.u32();
-      m.entries.reserve(count);
+      // >= 21 bytes per entry; see decode_batch for the hostile-count rationale.
+      m.entries.reserve(std::min<std::size_t>(count, reader.remaining() / 21));
       for (std::uint32_t i = 0; i < count; ++i) {
         PrepareEntry entry;
         entry.instance = reader.u64();
         entry.accepted_view = reader.u64();
-        entry.decided = reader.u8() != 0;
+        const std::uint8_t decided = reader.u8();
+        // The codec is canonical (decode then encode is the identity on
+        // accepted inputs); only the two bytes the encoder emits are valid.
+        if (decided > 1) throw DecodeError("non-canonical decided flag");
+        entry.decided = decided == 1;
         entry.value = reader.bytes();
         m.entries.push_back(std::move(entry));
       }
@@ -169,7 +179,7 @@ WireMessage decode_message(std::span<const std::uint8_t> frame) {
       CatchupQuery m;
       m.from_instance = reader.u64();
       const std::uint32_t count = reader.u32();
-      m.instances.reserve(count);
+      m.instances.reserve(std::min<std::size_t>(count, reader.remaining() / 8));
       for (std::uint32_t i = 0; i < count; ++i) m.instances.push_back(reader.u64());
       wire.message = std::move(m);
       break;
@@ -177,7 +187,7 @@ WireMessage decode_message(std::span<const std::uint8_t> frame) {
     case Tag::kCatchupReply: {
       CatchupReply m;
       const std::uint32_t count = reader.u32();
-      m.decided.reserve(count);
+      m.decided.reserve(std::min<std::size_t>(count, reader.remaining() / 12));
       for (std::uint32_t i = 0; i < count; ++i) {
         CatchupDecided item;
         item.instance = reader.u64();

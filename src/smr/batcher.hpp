@@ -36,7 +36,10 @@ class Batcher {
   void run();
   bool ship(Bytes batch);
 
-  const Config& config_;
+  // Owned copy, not a reference: a stored Config& tied this object's
+  // lifetime to the constructor argument (the PR-6 dangling-Config bug
+  // class); lint_invariants.py forbids storing the parameter by ref.
+  const Config config_;
   RequestQueue& requests_;
   ProposalQueue& proposals_;
   DispatcherQueue& dispatcher_;

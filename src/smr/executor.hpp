@@ -85,7 +85,10 @@ class ParallelExecutor {
   void run_wave(const std::vector<const paxos::Request*>& requests,
                 std::vector<Bytes>& replies, std::size_t begin, std::size_t end);
 
-  const Config& config_;
+  // Owned copy, not a reference: a stored Config& tied this object's
+  // lifetime to the constructor argument (the PR-6 dangling-Config bug
+  // class); lint_invariants.py forbids storing the parameter by ref.
+  const Config config_;
   Service& service_;
   const std::size_t worker_count_;
 

@@ -57,7 +57,10 @@ class FailureDetector {
   void tick(std::uint64_t now);
   SharedState& liveness() const { return *feeds_.front().shared; }
 
-  const Config& config_;
+  // Owned copy, not a reference: a stored Config& tied this object's
+  // lifetime to the constructor argument (the PR-6 dangling-Config bug
+  // class); lint_invariants.py forbids storing the parameter by ref.
+  const Config config_;
   const ReplicaId self_;
   ReplicaIo& replica_io_;
   std::vector<PartitionFeed> feeds_;
@@ -71,6 +74,8 @@ class FailureDetector {
   std::vector<std::uint64_t> last_suspect_push_ns_;
   std::vector<std::uint64_t> misaligned_since_ns_;
 
+  // lint:allow(raw-sync): timed sleep-with-early-wake of a periodic
+  // thread, not a data hand-off edge — no queue semantics apply.
   std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;

@@ -1,5 +1,7 @@
 #include "smr/partition.hpp"
 
+#include <algorithm>
+
 namespace mcsmr::smr {
 
 // --- PartitionRouter --------------------------------------------------------
@@ -132,7 +134,9 @@ PartitionManifest decode_manifest(const Bytes& data) {
   }
   PartitionManifest manifest;
   const std::uint32_t count = reader.u32();
-  manifest.parts.reserve(count);
+  // >= 16 bytes per part; clamp so a hostile count can't force a huge
+  // allocation before the truncation check fires (see decode_batch).
+  manifest.parts.reserve(std::min<std::size_t>(count, reader.remaining() / 16));
   for (std::uint32_t i = 0; i < count; ++i) {
     PartitionManifest::Part part;
     part.next_instance = reader.u64();
@@ -140,6 +144,7 @@ PartitionManifest decode_manifest(const Bytes& data) {
     part.reply_cache = reader.bytes();
     manifest.parts.push_back(std::move(part));
   }
+  if (!reader.at_end()) throw DecodeError("trailing bytes after partition manifest");
   return manifest;
 }
 

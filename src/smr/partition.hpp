@@ -131,6 +131,8 @@ class CrossPartitionBarrier {
   GlobalExec exec_;
   Nudge nudge_;
 
+  // lint:allow(raw-sync): all-partition rendezvous (generation-counted
+  // barrier), inherently many-to-many — a queue cannot express it.
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<const paxos::Request*> heads_;  // per partition; null = helper

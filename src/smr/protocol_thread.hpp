@@ -69,7 +69,10 @@ class ProtocolThread {
   void release_durable_sends();
   void publish();
 
-  const Config& config_;
+  // Owned copy, not a reference: a stored Config& tied this object's
+  // lifetime to the constructor argument (the PR-6 dangling-Config bug
+  // class); lint_invariants.py forbids storing the parameter by ref.
+  const Config config_;
   paxos::Engine& engine_;
   paxos::LogStorage& storage_;
   std::deque<GatedSend> gated_;

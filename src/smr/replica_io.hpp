@@ -81,7 +81,10 @@ class ReplicaIo {
   Bytes encode_frame(std::uint32_t partition, const paxos::Message& message) const;
   SharedState& liveness() const { return *feeds_.front().shared; }
 
-  const Config& config_;
+  // Owned copy, not a reference: a stored Config& tied this object's
+  // lifetime to the constructor argument (the PR-6 dangling-Config bug
+  // class); lint_invariants.py forbids storing the parameter by ref.
+  const Config config_;
   const ReplicaId self_;
   PeerTransport& transport_;
   std::vector<Feed> feeds_;  // one per partition, index = partition id

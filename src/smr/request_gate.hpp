@@ -183,7 +183,10 @@ class RequestGate {
     return true;
   }
 
-  const Config& config_;
+  // Owned copy, not a reference: a stored Config& tied this object's
+  // lifetime to the constructor argument (the PR-6 dangling-Config bug
+  // class); lint_invariants.py forbids storing the parameter by ref.
+  const Config config_;
   std::vector<Intake> intakes_;
   const PartitionRouter* router_;
   SharedState& shared_;

@@ -63,12 +63,17 @@ class Retransmitter {
 
   void run();
 
-  const Config& config_;
+  // Owned copy, not a reference: a stored Config& tied this object's
+  // lifetime to the constructor argument (the PR-6 dangling-Config bug
+  // class); lint_invariants.py forbids storing the parameter by ref.
+  const Config config_;
   PartitionIo replica_io_;
 
   // Protocol-thread-private index (single caller; no lock by design).
   std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> by_key_;
 
+  // lint:allow(raw-sync): timed sleep-with-early-wake of a periodic
+  // thread, not a data hand-off edge — no queue semantics apply.
   std::mutex mu_;
   std::condition_variable cv_;
   std::priority_queue<Pending, std::vector<Pending>, std::greater<>> heap_;

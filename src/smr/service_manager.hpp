@@ -109,7 +109,10 @@ class ServiceManager {
   /// closes with it as partition 0's head). False = shutting down.
   bool wait_cross_partition(const paxos::Request& request);
 
-  const Config& config_;
+  // Owned copy, not a reference: a stored Config& tied this object's
+  // lifetime to the constructor argument (the PR-6 dangling-Config bug
+  // class); lint_invariants.py forbids storing the parameter by ref.
+  const Config config_;
   DecisionQueue& decisions_;
   Service& service_;
   ReplyCache& reply_cache_;

@@ -56,7 +56,10 @@ class SimClientIo : public ClientIo {
   void io_loop(int thread_index);
   void drain_replies(int thread_index);
 
-  const Config& config_;
+  // Owned copy, not a reference: a stored Config& tied this object's
+  // lifetime to the constructor argument (the PR-6 dangling-Config bug
+  // class); lint_invariants.py forbids storing the parameter by ref.
+  const Config config_;
   net::SimNetwork& net_;
   const net::NodeId self_node_;
   RequestGate gate_;

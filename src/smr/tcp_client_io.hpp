@@ -83,7 +83,10 @@ class TcpClientIo : public ClientIo {
   void enqueue_frame(int thread_index, int fd, Bytes frame);
   void drain_replies(int thread_index);
 
-  const Config& config_;
+  // Owned copy, not a reference: a stored Config& tied this object's
+  // lifetime to the constructor argument (the PR-6 dangling-Config bug
+  // class); lint_invariants.py forbids storing the parameter by ref.
+  const Config config_;
   RequestGate gate_;
   SharedState& shared_;
   const int io_threads_;

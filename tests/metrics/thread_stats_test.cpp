@@ -36,9 +36,12 @@ TEST(ThreadStats, BusyTimeTracksCpuBurn) {
   EXPECT_FALSE(snaps[0].alive);
   // Coarse-tick thread CPU clocks can outrun the wall briefly; the
   // reported busy is clamped to wall, so assert a generous floor plus the
-  // dominance of busy within the thread's lifetime.
+  // dominance of busy over the other recorded states. (Dominance is NOT
+  // asserted against wall time: on an oversubscribed runner — e.g. the
+  // sanitizer CI jobs under ctest -j — the burner can spend half its
+  // lifetime descheduled, and that time is nobody's to claim.)
   EXPECT_GE(snaps[0].busy_ns, 25 * kMillis);
-  EXPECT_GE(snaps[0].busy_frac(), 0.6);
+  EXPECT_GE(snaps[0].busy_ns, snaps[0].waiting_ns + snaps[0].blocked_ns);
   EXPECT_GE(busy_ns, 40 * kMillis);
 }
 

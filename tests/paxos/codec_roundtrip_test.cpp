@@ -1,0 +1,152 @@
+// Round-trip property tests for the paxos wire codecs, seeded from the
+// committed fuzz corpora (fuzz/corpus). The property mirrors the fuzz
+// harnesses: every input either fails to decode (DecodeError) or decodes
+// to a value that re-encodes to the identical bytes — the codecs are
+// canonical. Deterministic rejection cases pin the specific laxities the
+// fuzzers found (non-canonical booleans, hostile counts, trailing bytes).
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "paxos/messages.hpp"
+#include "paxos/storage.hpp"
+
+namespace mcsmr::paxos {
+namespace {
+
+std::vector<std::filesystem::path> corpus_files(const char* harness) {
+  const std::filesystem::path dir =
+      std::filesystem::path(MCSMR_FUZZ_CORPUS_DIR) / harness;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  EXPECT_FALSE(files.empty()) << "empty corpus: " << dir;
+  return files;
+}
+
+Bytes read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return Bytes(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+TEST(CodecRoundtrip, MessageCorpusIsCanonical) {
+  for (const auto& path : corpus_files("decode_message")) {
+    const Bytes input = read_file(path);
+    try {
+      const WireMessage wire = decode_message(input);
+      EXPECT_EQ(encode_message(wire.from, wire.message), input)
+          << "non-canonical accept: " << path;
+    } catch (const DecodeError&) {
+      // Rejection is a valid outcome (e.g. the committed regression seed
+      // with a non-canonical `decided` flag).
+    }
+  }
+}
+
+TEST(CodecRoundtrip, BatchCorpusIsCanonical) {
+  for (const auto& path : corpus_files("decode_batch")) {
+    const Bytes input = read_file(path);
+    try {
+      EXPECT_EQ(encode_batch(decode_batch(input)), input)
+          << "non-canonical accept: " << path;
+    } catch (const DecodeError&) {
+    }
+  }
+}
+
+TEST(CodecRoundtrip, RecordCorpusIsCanonical) {
+  for (const auto& path : corpus_files("decode_record")) {
+    const Bytes input = read_file(path);
+    try {
+      const DurableRecord record =
+          decode_record(std::span(input.data(), input.size()));
+      EXPECT_EQ(encode_record(record), input) << "non-canonical accept: " << path;
+    } catch (const DecodeError&) {
+    }
+  }
+}
+
+TEST(CodecRoundtrip, EveryMessageKindRoundTrips) {
+  const ReplicaId from = 3;
+  PrepareOk prepare_ok;
+  prepare_ok.view = 7;
+  prepare_ok.first_undecided = 41;
+  prepare_ok.entries.push_back({41, 6, true, Bytes{1, 2, 3}});
+  prepare_ok.entries.push_back({42, 7, false, Bytes{}});
+  const std::vector<Message> messages = {
+      Prepare{5, 10},
+      prepare_ok,
+      Propose{7, 42, Bytes{9, 9}},
+      Accept{7, 42},
+      Heartbeat{7, 43, 123456789},
+      CatchupQuery{40, {40, 41}},
+      CatchupReply{{{40, Bytes{4}}, {41, Bytes{}}}},
+      SnapshotOffer{50, Bytes{1}, Bytes{2}},
+      LeaseGrant{7, 42}};
+  for (const Message& message : messages) {
+    const Bytes wire = encode_message(from, message);
+    const WireMessage decoded = decode_message(wire);
+    EXPECT_EQ(decoded.from, from);
+    EXPECT_EQ(decoded.message.index(), message.index());
+    EXPECT_EQ(encode_message(decoded.from, decoded.message), wire);
+  }
+}
+
+TEST(CodecRoundtrip, MessageRejectsNonCanonicalDecidedFlag) {
+  PrepareOk prepare_ok;
+  prepare_ok.view = 1;
+  prepare_ok.first_undecided = 0;
+  prepare_ok.entries.push_back({0, 1, true, Bytes{}});
+  Bytes wire = encode_message(0, prepare_ok);
+  // from u32 + tag + view u64 + first_undecided u64 + count u32
+  //   + instance u64 + accepted_view u64 -> the decided byte.
+  const std::size_t decided_off = 4 + 1 + 8 + 8 + 4 + 8 + 8;
+  ASSERT_EQ(wire[decided_off], 1);
+  wire[decided_off] = 0x6f;
+  EXPECT_THROW(decode_message(wire), DecodeError);
+}
+
+TEST(CodecRoundtrip, MessageRejectsTruncationAndTrailingBytes) {
+  Bytes wire = encode_message(1, Accept{3, 4});
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_THROW(decode_message(Bytes(wire.begin(), wire.begin() + len)),
+                 DecodeError);
+  }
+  wire.push_back(0);
+  EXPECT_THROW(decode_message(wire), DecodeError);
+}
+
+TEST(CodecRoundtrip, HostileCountsFailFastWithoutAllocating) {
+  // count = 2^32-1 with a near-empty body: the clamped reserve must not
+  // try to allocate gigabytes before the truncation check throws.
+  Bytes batch = {0xff, 0xff, 0xff, 0xff, 0x00};
+  EXPECT_THROW(decode_batch(batch), DecodeError);
+  Bytes query = encode_message(0, CatchupQuery{0, {}});
+  // count field is the last u32 of the empty query; rewrite it.
+  for (std::size_t i = query.size() - 4; i < query.size(); ++i) query[i] = 0xff;
+  EXPECT_THROW(decode_message(query), DecodeError);
+}
+
+TEST(CodecRoundtrip, EveryRecordTypeRoundTrips) {
+  const std::vector<DurableRecord> records = {
+      DurableRecord::promise(9),
+      DurableRecord::accept(9, 41, Bytes{1, 2}),
+      DurableRecord::decide(41, Bytes{1, 2}),
+      DurableRecord::snapshot(50, Bytes{3}, Bytes{4})};
+  for (const DurableRecord& record : records) {
+    const Bytes wire = encode_record(record);
+    const DurableRecord decoded = decode_record(std::span(wire.data(), wire.size()));
+    EXPECT_EQ(decoded.type, record.type);
+    EXPECT_EQ(decoded.view, record.view);
+    EXPECT_EQ(decoded.instance, record.instance);
+    EXPECT_EQ(decoded.value, record.value);
+    EXPECT_EQ(decoded.reply_cache, record.reply_cache);
+    EXPECT_EQ(encode_record(decoded), wire);
+  }
+}
+
+}  // namespace
+}  // namespace mcsmr::paxos

@@ -126,6 +126,20 @@ TEST(ChaosTest, KillAndRecoverInstallsSnapshotMidTraffic) {
   cluster.restart(victim);
 
   ASSERT_TRUE(wait_completed(completed.load() + 100)) << "progress stalled after recovery";
+  // Keep client traffic flowing until the recovered replica itself has
+  // decided or executed something: on a slow (or oversubscribed
+  // sanitizer-CI) host the +100 window above can be served entirely by
+  // the survivors before the victim rejoins, which would fail the
+  // made-no-progress assertion below spuriously.
+  const std::uint64_t victim_deadline = mono_ns() + 20 * kSeconds;
+  auto victim_progress = [&] {
+    return cluster.replica(victim).executed_requests() +
+               cluster.replica(victim).decided_instances() >
+           0;
+  };
+  while (mono_ns() < victim_deadline && !victim_progress()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
   running.store(false);
   driver.join();
 

@@ -1,0 +1,106 @@
+// Round-trip property tests for the smr-side codecs (partition manifest,
+// client protocol frames), seeded from the committed fuzz corpora. Same
+// canonical-codec property as tests/paxos/codec_roundtrip_test.cpp.
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "smr/client_proto.hpp"
+#include "smr/partition.hpp"
+
+namespace mcsmr::smr {
+namespace {
+
+std::vector<std::filesystem::path> corpus_files(const char* harness) {
+  const std::filesystem::path dir =
+      std::filesystem::path(MCSMR_FUZZ_CORPUS_DIR) / harness;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  EXPECT_FALSE(files.empty()) << "empty corpus: " << dir;
+  return files;
+}
+
+Bytes read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return Bytes(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+TEST(SmrCodecRoundtrip, ManifestCorpusIsCanonical) {
+  for (const auto& path : corpus_files("decode_manifest")) {
+    const Bytes input = read_file(path);
+    try {
+      EXPECT_EQ(encode_manifest(decode_manifest(input)), input)
+          << "non-canonical accept: " << path;
+    } catch (const DecodeError&) {
+    }
+  }
+}
+
+TEST(SmrCodecRoundtrip, ClientFrameCorpusIsCanonical) {
+  for (const auto& path : corpus_files("client_frame")) {
+    const Bytes input = read_file(path);
+    try {
+      const DecodedClientFrame frame = decode_client_frame(input);
+      const Bytes again = frame.kind == ClientFrameKind::kRequest
+                              ? encode_client_request(frame.request)
+                              : encode_client_reply(frame.reply);
+      EXPECT_EQ(again, input) << "non-canonical accept: " << path;
+    } catch (const DecodeError&) {
+    }
+  }
+}
+
+TEST(SmrCodecRoundtrip, ManifestRoundTripsAndRejectsTrailingBytes) {
+  PartitionManifest manifest;
+  manifest.parts.push_back({7, Bytes{1, 2}, Bytes{3}});
+  manifest.parts.push_back({9, Bytes{}, Bytes{}});
+  Bytes wire = encode_manifest(manifest);
+  const PartitionManifest decoded = decode_manifest(wire);
+  ASSERT_EQ(decoded.parts.size(), manifest.parts.size());
+  for (std::size_t i = 0; i < decoded.parts.size(); ++i) {
+    EXPECT_EQ(decoded.parts[i].next_instance, manifest.parts[i].next_instance);
+    EXPECT_EQ(decoded.parts[i].state, manifest.parts[i].state);
+    EXPECT_EQ(decoded.parts[i].reply_cache, manifest.parts[i].reply_cache);
+  }
+  EXPECT_EQ(encode_manifest(decoded), wire);
+  wire.push_back(0);
+  EXPECT_THROW(decode_manifest(wire), DecodeError);
+}
+
+TEST(SmrCodecRoundtrip, ManifestHostilePartCountFailsFast) {
+  Bytes wire = encode_manifest(PartitionManifest{});
+  // The part count is the trailing u32 of an empty manifest; make it huge.
+  for (std::size_t i = wire.size() - 4; i < wire.size(); ++i) wire[i] = 0xff;
+  EXPECT_THROW(decode_manifest(wire), DecodeError);
+}
+
+TEST(SmrCodecRoundtrip, ClientFramesRoundTrip) {
+  const ClientRequestFrame request{11, 22, 1, Bytes{5, 6}};
+  const Bytes request_wire = encode_client_request(request);
+  const DecodedClientFrame decoded_request = decode_client_frame(request_wire);
+  ASSERT_EQ(decoded_request.kind, ClientFrameKind::kRequest);
+  EXPECT_EQ(encode_client_request(decoded_request.request), request_wire);
+
+  const ClientReplyFrame reply{11, 22, ReplyStatus::kRedirect,
+                               encode_leader_hint(2)};
+  const Bytes reply_wire = encode_client_reply(reply);
+  const DecodedClientFrame decoded_reply = decode_client_frame(reply_wire);
+  ASSERT_EQ(decoded_reply.kind, ClientFrameKind::kReply);
+  EXPECT_EQ(encode_client_reply(decoded_reply.reply), reply_wire);
+  EXPECT_EQ(decode_leader_hint(decoded_reply.reply.payload), ReplicaId{2});
+}
+
+TEST(SmrCodecRoundtrip, LeaderHintIsTotalAndExact) {
+  EXPECT_EQ(decode_leader_hint(Bytes{}), std::nullopt);
+  EXPECT_EQ(decode_leader_hint(Bytes{1, 2, 3}), std::nullopt);
+  EXPECT_EQ(decode_leader_hint(Bytes{1, 2, 3, 4, 5}), std::nullopt);
+  const Bytes hint = encode_leader_hint(4);
+  EXPECT_EQ(decode_leader_hint(hint), ReplicaId{4});
+}
+
+}  // namespace
+}  // namespace mcsmr::smr

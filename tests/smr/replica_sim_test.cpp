@@ -195,7 +195,9 @@ TEST(ReplicaSim, SnapshotStateTransferToDarkReplica) {
     }
     return total;
   };
-  const std::uint64_t deadline = mono_ns() + 15 * kSeconds;
+  // Generous deadline: on an oversubscribed sanitizer CI runner the
+  // catch-up/snapshot exchange can take many times its uncontended cost.
+  const std::uint64_t deadline = mono_ns() + 30 * kSeconds;
   while (mono_ns() < deadline && total_keys() < 60) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }

@@ -23,9 +23,11 @@ struct TcpCluster {
     replicas_.resize(static_cast<std::size_t>(config.n));
     for (int id = 0; id < config.n; ++id) {
       builders.emplace_back([this, id, peer_base_port] {
+        // Factory form so the MCSMR_PARTITIONS matrix variant can shard
+        // the service (the unique_ptr convenience requires 1 partition).
         replicas_[static_cast<std::size_t>(id)] = Replica::create_tcp(
             config_, static_cast<ReplicaId>(id), peer_base_port, /*client_port=*/0,
-            std::make_unique<KvService>(), mono_ns() + 10 * kSeconds);
+            [] { return std::make_unique<KvService>(); }, mono_ns() + 10 * kSeconds);
       });
     }
     for (auto& builder : builders) builder.join();
@@ -123,11 +125,16 @@ TEST(ReplicaTcp, ConcurrentClients) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(ok.load(), kClients * kCallsEach);
 
-  // All replicas converge on the same KV state.
+  // All replicas converge on the same KV state (summed over shards — the
+  // partitioned matrix variant spreads the keys across pipelines).
   std::this_thread::sleep_for(std::chrono::milliseconds(500));
   for (int id = 0; id < 3; ++id) {
-    auto& kv = dynamic_cast<KvService&>(cluster.replicas_[static_cast<std::size_t>(id)]->service());
-    EXPECT_EQ(kv.size(), static_cast<std::size_t>(kClients)) << "replica " << id;
+    auto& replica = *cluster.replicas_[static_cast<std::size_t>(id)];
+    std::size_t total = 0;
+    for (std::uint32_t p = 0; p < replica.num_partitions(); ++p) {
+      total += dynamic_cast<KvService&>(replica.service(p)).size();
+    }
+    EXPECT_EQ(total, static_cast<std::size_t>(kClients)) << "replica " << id;
   }
   cluster.stop();
 }
