@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
                             "Figure 4: throughput & speedup vs cores (parapluie, n=3 and n=5)");
 
   sim::SmrModel model;
-  if (args.flag("--calibrate")) {
+  if (args.calibrate) {
     std::printf("calibrating stage demands from a live run...\n");
     auto calibration = sim::calibrate_smr();
     if (calibration.ok) {

@@ -269,8 +269,9 @@ inline RealRunResult run_real(RealRunParams params, const BenchArgs& args) {
   if (!args.queue_impl.empty()) {
     params.config.apply_overrides({{"queue_impl", args.queue_impl}});
   }
-  // --executor serial|parallel and --workers N: the ServiceManager
-  // execution-strategy knob (bench_ablation_executor A/Bs the two).
+  // --executor serial|parallel|affinity and --workers N: the
+  // ServiceManager execution-strategy knob (bench_ablation_executor A/Bs
+  // them).
   if (!args.executor_impl.empty()) {
     params.config.apply_overrides({{"executor_impl", args.executor_impl}});
   }
@@ -278,6 +279,9 @@ inline RealRunResult run_real(RealRunParams params, const BenchArgs& args) {
     params.config.apply_overrides(
         {{"executor_workers", std::to_string(args.executor_workers)}});
   }
+  // --pin-io: pin each ClientIO thread t to core t (round-robin modulo
+  // the host's cores); recorded in env{} so baselines are comparable.
+  if (args.pin_io) params.config.apply_overrides({{"pin_io_threads", "1"}});
   // --partitions N: shard the replica into N pipelines behind the router
   // (bench_ablation_partitions sweeps it; every driver accepts it).
   if (args.partitions > 0) {

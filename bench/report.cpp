@@ -162,8 +162,9 @@ namespace {
       "  --smoke         short measurement windows + thinned sweeps\n"
       "  --seed S        base SimNet RNG seed (recorded in env{})\n"
       "  --queue IMPL    hot-path queue implementation: mutex or ring\n"
-      "  --executor IMPL execution strategy: serial or parallel\n"
-      "  --workers N     parallel-executor worker threads\n"
+      "  --executor IMPL execution strategy: serial, parallel or affinity\n"
+      "  --workers N     executor worker threads\n"
+      "  --pin-io        pin each ClientIO thread t to core t\n"
       "  --partitions N  partitioned SMR pipelines (Config::num_partitions)\n"
       "  --storage IMPL  Paxos log storage: memory or segment\n"
       "  --workload W    swarm workload: null or kv (keyed PUT traffic)\n"
@@ -171,9 +172,10 @@ namespace {
       "  --conflict P    kv workload %% of requests hitting one hot key\n"
       "  --read-pct P    kv workload %% of requests that are GETs\n"
       "  --read-path P   read-only request handling: consensus or lease\n"
+      "  --calibrate     re-derive [model] stage demands from a live run\n"
       "  --help          this message\n"
       "\n"
-      "Unrecognized flags are passed through to the driver (e.g. --calibrate,\n"
+      "Unrecognized flags are passed through to the driver (e.g.\n"
       "--benchmark_* for the ablation drivers).\n",
       figure.c_str(), figure.c_str());
   std::exit(code);
@@ -246,11 +248,16 @@ BenchArgs BenchArgs::parse(int& argc, char** argv, std::string figure) {
       }
     } else if (const char* executor_v = flag_value("--executor", argc, argv, i)) {
       args.executor_impl = executor_v;
-      if (args.executor_impl != "serial" && args.executor_impl != "parallel") {
-        std::fprintf(stderr, "error: --executor wants serial or parallel, got '%s'\n",
+      if (args.executor_impl != "serial" && args.executor_impl != "parallel" &&
+          args.executor_impl != "affinity") {
+        std::fprintf(stderr, "error: --executor wants serial, parallel or affinity, got '%s'\n",
                      executor_v);
         std::exit(2);
       }
+    } else if (arg == "--pin-io") {
+      args.pin_io = true;
+    } else if (arg == "--calibrate") {
+      args.calibrate = true;
     } else if (const char* workers_v = flag_value("--workers", argc, argv, i)) {
       args.executor_workers = std::atoi(workers_v);
       if (args.executor_workers < 1) {
@@ -428,6 +435,7 @@ BenchReport::BenchReport(const BenchArgs& args, std::string title)
   if (args_.executor_workers > 0) {
     env("executor_workers", static_cast<std::int64_t>(args_.executor_workers));
   }
+  if (args_.pin_io) env("pin_io_threads", true);
   if (args_.partitions > 0) env("partitions", static_cast<std::int64_t>(args_.partitions));
   if (!args_.storage_impl.empty()) env("log_storage", args_.storage_impl);
   if (!args_.workload.empty()) env("workload", args_.workload);

@@ -16,9 +16,11 @@
 //   --seed S        base RNG seed for SimNet (recorded in env{})
 //   --queue IMPL    hot-path queue implementation: mutex or ring
 //                   (Config::queue_impl; the before/after A-B knob)
-//   --executor IMPL execution strategy: serial or parallel
+//   --executor IMPL execution strategy: serial, parallel or affinity
 //                   (Config::executor_impl; bench_ablation_executor A-Bs)
-//   --workers N     parallel-executor worker threads (Config::executor_workers)
+//   --workers N     executor worker threads (Config::executor_workers)
+//   --pin-io        pin each ClientIO thread t to core t
+//                   (Config::pin_io_threads; recorded in env{})
 //   --partitions N  partitioned SMR pipelines (Config::num_partitions;
 //                   bench_ablation_partitions sweeps it)
 //   --storage IMPL  Paxos log storage: memory or segment
@@ -29,8 +31,10 @@
 //   --read-pct P    kv workload GET percentage [0, 100]
 //   --read-path P   read-only request handling: consensus or lease
 //                   (Config::read_path; bench_read_scaling A-Bs the two)
+//   --calibrate     drivers with a [model] series re-derive its stage
+//                   demands from a live run (drivers without one ignore it)
 // Unrecognized flags are left in argv for driver-specific handling
-// (e.g. --calibrate, --benchmark_* for the ablation drivers).
+// (e.g. --benchmark_* for the ablation drivers).
 #pragma once
 
 #include <cstdint>
@@ -99,8 +103,9 @@ struct BenchArgs {
   bool smoke = false;       ///< short windows + thinned sweeps
   std::uint64_t seed = 1;   ///< base SimNet RNG seed, recorded in env{}
   std::string queue_impl;   ///< "" = config default, else "mutex"/"ring"
-  std::string executor_impl;  ///< "" = config default, else "serial"/"parallel"
+  std::string executor_impl;  ///< "" = default, else "serial"/"parallel"/"affinity"
   int executor_workers = 0;   ///< 0 = config default
+  bool pin_io = false;        ///< pin ClientIO threads (Config::pin_io_threads)
   int partitions = 0;         ///< 0 = config default (Config::num_partitions)
   std::string storage_impl;   ///< "" = config default, else "memory"/"segment"
   std::string workload;       ///< "" = driver default, else "null"/"kv"
@@ -108,6 +113,7 @@ struct BenchArgs {
   int kv_conflict_pct = -1;   ///< -1 = default (kv workload hot-key share)
   int read_pct = -1;          ///< -1 = default (kv workload GET share)
   std::string read_path;      ///< "" = config default, else "consensus"/"lease"
+  bool calibrate = false;     ///< re-derive [model] demands from a live run
   std::string argv_line;    ///< the original command line, recorded in env{}
   std::vector<std::string> passthrough;  ///< flags left for the driver
 
@@ -118,7 +124,8 @@ struct BenchArgs {
 
   bool emit_json() const { return json || !out.empty(); }
 
-  /// True if `name` (e.g. "--calibrate") was passed and not consumed.
+  /// True if `name` (e.g. "--benchmark_list_tests") was passed and not
+  /// consumed.
   bool flag(std::string_view name) const;
 
   /// Resolved output path: `--out` verbatim when it ends in `.json`

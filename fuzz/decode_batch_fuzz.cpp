@@ -1,6 +1,8 @@
-// Fuzz paxos::decode_batch (and through it Request::decode) — the value
-// ordered by every consensus instance; replayed from disk and received in
-// Propose/CatchupReply/PrepareOk bodies.
+// Fuzz paxos::decode_any_batch (and through it decode_batch and
+// Request::decode) — the value ordered by every consensus instance;
+// replayed from disk and received in Propose/CatchupReply/PrepareOk
+// bodies. Covers BOTH wire formats: the v1 plain batch and the v2
+// classified batch (magic-prefixed, with per-request footprints).
 #include "fuzz_util.hpp"
 #include "paxos/types.hpp"
 
@@ -8,10 +10,21 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size
   using namespace mcsmr;
   try {
     const Bytes input(data, data + size);
-    const std::vector<paxos::Request> requests = paxos::decode_batch(input);
-    const Bytes again = paxos::encode_batch(requests);
+    const paxos::DecodedBatch decoded = paxos::decode_any_batch(input);
+    // The request-only view must agree with the full decode on either
+    // encoding (old replicas call decode_batch on v2 values).
+    FUZZ_ASSERT(paxos::decode_batch(input) == decoded.requests);
+    // Accepted inputs are canonical: re-encoding with the matching
+    // encoder reproduces the input bytes exactly.
+    const Bytes again =
+        decoded.classified
+            ? paxos::encode_classified_batch(decoded.requests, decoded.classes)
+            : paxos::encode_batch(decoded.requests);
     FUZZ_ASSERT(fuzz::bytes_equal(again, input));
-    FUZZ_ASSERT(paxos::decode_batch(again) == requests);
+    const paxos::DecodedBatch redecoded = paxos::decode_any_batch(again);
+    FUZZ_ASSERT(redecoded.requests == decoded.requests);
+    FUZZ_ASSERT(redecoded.classified == decoded.classified);
+    FUZZ_ASSERT(redecoded.classes == decoded.classes);
   } catch (const DecodeError&) {
   }
   return 0;

@@ -68,11 +68,25 @@ void gen_decode_message(const std::string& root) {
   emit("lease_grant", LeaseGrant{5, 987654321});
 }
 
+std::vector<paxos::RequestClass> sample_classes() {
+  using paxos::RequestClass;
+  RequestClass multi = RequestClass::write(0x1111'2222'3333'4444ull);
+  multi.keys.push_back(0x5555'6666'7777'8888ull);
+  return {RequestClass::read(42), RequestClass::conflict_free(), multi};
+}
+
 void gen_decode_batch(const std::string& root) {
   write_seed(root, "decode_batch", "empty", paxos::encode_batch({}));
   write_seed(root, "decode_batch", "three", paxos::encode_batch(sample_requests()));
   write_seed(root, "decode_batch", "one_big",
              paxos::encode_batch({{9, 2, payload_bytes(1300, 0xEE)}}));
+  // v2 classified encoding (magic-prefixed, per-request footprints).
+  write_seed(root, "decode_batch", "classified_empty", paxos::encode_classified_batch({}, {}));
+  write_seed(root, "decode_batch", "classified_three",
+             paxos::encode_classified_batch(sample_requests(), sample_classes()));
+  write_seed(root, "decode_batch", "classified_global",
+             paxos::encode_classified_batch({{3, 5, payload_bytes(32, 0xB7)}},
+                                            {paxos::RequestClass{{}, false, true}}));
 }
 
 void gen_decode_record(const std::string& root) {

@@ -5,9 +5,10 @@
 #   scripts/bench_all.sh [--smoke] [--out DIR] [--build DIR] [--only REGEX]
 #                        [--repeat N] [--budget PPS] [--seed S]
 #                        [--queue IMPL] [--executor IMPL] [--workers N]
-#                        [--partitions N] [--storage IMPL] [--workload W]
-#                        [--keys N] [--conflict P] [--read-pct P]
-#                        [--read-path P] [--no-validate]
+#                        [--pin-io] [--partitions N] [--storage IMPL]
+#                        [--workload W] [--keys N] [--conflict P]
+#                        [--read-pct P] [--read-path P] [--calibrate]
+#                        [--no-validate]
 #
 #   --smoke        short measurement windows + thinned sweeps (what CI runs)
 #   --out DIR      where BENCH_*.json land (default: the repo root)
@@ -17,6 +18,9 @@
 #   --storage/--workload/--keys/--conflict/--read-pct/--read-path
 #                  forwarded to every driver (the full pipeline-shape
 #                  flag set — keep this list in sync with BenchArgs)
+#   --pin-io       forwarded: pin ClientIO threads (Config::pin_io_threads)
+#   --calibrate    forwarded: drivers with a [model] series re-derive its
+#                  stage demands from a live run (others ignore it)
 #   --no-validate  skip the scripts/validate_bench_json.py pass
 #
 # Exits non-zero if any driver fails, emits nothing, or emits JSON that
@@ -32,6 +36,8 @@ forward=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) forward+=(--smoke); shift ;;
+    --pin-io) forward+=(--pin-io); shift ;;
+    --calibrate) forward+=(--calibrate); shift ;;
     --out) out_dir=$2; shift 2 ;;
     --build) build_dir=$2; shift 2 ;;
     --only) only=$2; shift 2 ;;

@@ -20,7 +20,12 @@ const char* to_string(QueueImpl impl) {
 }
 
 const char* to_string(ExecutorImpl impl) {
-  return impl == ExecutorImpl::kSerial ? "serial" : "parallel";
+  switch (impl) {
+    case ExecutorImpl::kSerial: return "serial";
+    case ExecutorImpl::kParallel: return "parallel";
+    case ExecutorImpl::kAffinity: return "affinity";
+  }
+  return "serial";
 }
 
 const char* to_string(StorageImpl impl) {
@@ -76,9 +81,14 @@ void Config::apply_overrides(const std::map<std::string, std::string>& overrides
         executor_impl = ExecutorImpl::kSerial;
       } else if (value == "parallel") {
         executor_impl = ExecutorImpl::kParallel;
+      } else if (value == "affinity") {
+        executor_impl = ExecutorImpl::kAffinity;
       } else {
-        throw std::invalid_argument("executor_impl must be serial or parallel, got: " + value);
+        throw std::invalid_argument("executor_impl must be serial, parallel or affinity, got: " +
+                                    value);
       }
+    } else if (key == "pin_io_threads") {
+      pin_io_threads = parse_u64(value) != 0;
     } else if (key == "executor_workers") {
       executor_workers = parse_u64(value);
       if (executor_workers < 1) throw std::invalid_argument("executor_workers must be >= 1");

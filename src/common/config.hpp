@@ -29,12 +29,18 @@ const char* to_string(QueueImpl impl);
 /// Execution strategy of the ServiceManager (§V-D):
 ///   kSerial   — the paper's design: the Replica thread applies decided
 ///               batches one request at a time (baseline, default);
-///   kParallel — dependency-aware parallel execution: a key-hash
-///               scheduler dispatches non-conflicting requests (per
-///               Service::classify) to executor_workers threads while
-///               serializing conflicting ones in decided order
-///               (Marandi/Alchieri-style; see smr/executor.hpp).
-enum class ExecutorImpl { kSerial, kParallel };
+///   kParallel — dependency-aware wave execution: a key-hash scheduler
+///               dispatches non-conflicting requests (per
+///               Service::classify) to executor_workers threads and
+///               quiesces per wave, serializing conflicting ones in
+///               decided order (Marandi-style; see smr/executor.hpp);
+///   kAffinity — early-scheduled per-key worker affinity (Alchieri-style):
+///               classification happens at batch-build time and travels
+///               inside the batch encoding; each worker owns a hash slice
+///               of the key space and executes its slice in decided order
+///               with no per-batch barrier — multi-key/global requests
+///               rendezvous only the involved workers.
+enum class ExecutorImpl { kSerial, kParallel, kAffinity };
 
 const char* to_string(ExecutorImpl impl);
 
@@ -71,6 +77,11 @@ struct Config {
 
   // --- Threading architecture (Fig 3) ---
   int client_io_threads = 3;  ///< paper: optimal usually 3..6 (§V-A fn.2)
+  /// Pin ClientIO thread t to core t (round-robin modulo the host's
+  /// cores). Off by default: only worth it on multi-core hosts, and the
+  /// pin is skipped entirely when the host has a single core (see
+  /// common/affinity.hpp). Benches record the flag in their env{} stanza.
+  bool pin_io_threads = false;
 
   // --- Partitioned pipelines (compartmentalization, Whittaker et al.) ---
   /// Number of independent SMR pipelines (Batcher -> Protocol -> Service
@@ -180,7 +191,8 @@ struct Config {
   /// batch_timeout_ms, client_io_threads, request_queue_cap,
   /// proposal_queue_cap, request_payload_bytes, reply_payload_bytes,
   /// queue_impl (mutex|ring), queue_spin_budget,
-  /// executor_impl (serial|parallel), executor_workers,
+  /// executor_impl (serial|parallel|affinity), executor_workers,
+  /// pin_io_threads (0|1),
   /// num_partitions (alias: partitions), log_storage (memory|segment),
   /// log_dir, fsync_batch_ns, preexec_window, read_path (consensus|lease),
   /// lease_duration_ms, lease_drift_margin_ms.

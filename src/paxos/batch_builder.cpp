@@ -5,7 +5,12 @@
 namespace mcsmr::paxos {
 
 std::vector<Bytes> BatchBuilder::add(Request request, std::uint64_t now_ns) {
-  const std::size_t need = request.encoded_size();
+  RequestClass footprint;
+  std::size_t need = request.encoded_size();
+  if (classifier_) {
+    footprint = classifier_(request.payload);
+    need += footprint.encoded_size();
+  }
   std::vector<Bytes> closed;
   if (!pending_.empty() && bytes_ + need > max_bytes_) {
     closed.push_back(flush());
@@ -13,6 +18,7 @@ std::vector<Bytes> BatchBuilder::add(Request request, std::uint64_t now_ns) {
   if (pending_.empty()) oldest_ns_ = now_ns;
   bytes_ += need;
   pending_.push_back(std::move(request));
+  if (classifier_) footprints_.push_back(std::move(footprint));
   // An oversized single request still ships — as a batch of one.
   if (bytes_ >= max_bytes_) {
     closed.push_back(flush());
@@ -27,9 +33,11 @@ std::optional<Bytes> BatchBuilder::poll(std::uint64_t now_ns, bool force) {
 }
 
 Bytes BatchBuilder::flush() {
-  Bytes value = encode_batch(pending_);
+  Bytes value = classifier_ ? encode_classified_batch(pending_, footprints_)
+                            : encode_batch(pending_);
   pending_.clear();
-  bytes_ = 4;
+  footprints_.clear();
+  bytes_ = header_bytes();
   return value;
 }
 

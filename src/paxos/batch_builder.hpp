@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -22,6 +23,17 @@ class BatchBuilder {
   /// `timeout_ns` bounds how long a partial batch may wait for company.
   BatchBuilder(std::uint32_t max_bytes, std::uint64_t timeout_ns)
       : max_bytes_(max_bytes), timeout_ns_(timeout_ns) {}
+
+  /// Classify requests at batch-build time (early scheduling): each added
+  /// request is classified once and its footprint travels inside the batch
+  /// via the classified (v2) encoding, so replicas schedule execution
+  /// without re-running classify() post-decide. Must be called while the
+  /// builder is empty; the classifier must be a pure function of the
+  /// request bytes. Unset (default) keeps the v1 encoding byte-identical.
+  void set_classifier(std::function<RequestClass(const Bytes&)> classifier) {
+    classifier_ = std::move(classifier);
+    bytes_ = header_bytes();
+  }
 
   /// Add a request (arrival time `now_ns`). Returns every batch this add
   /// closed (0, 1, or 2: the previously open batch if the request did not
@@ -45,11 +57,15 @@ class BatchBuilder {
 
  private:
   Bytes flush();
+  /// v1: u32 count. v2 (classified): u32 magic + u32 count.
+  std::size_t header_bytes() const { return classifier_ ? 8 : 4; }
 
   std::uint32_t max_bytes_;
   std::uint64_t timeout_ns_;
+  std::function<RequestClass(const Bytes&)> classifier_;
   std::vector<Request> pending_;
-  std::size_t bytes_ = 4;  // batch header (request count)
+  std::vector<RequestClass> footprints_;  ///< parallel to pending_ when classifying
+  std::size_t bytes_ = 4;                 ///< encoded size so far, header included
   std::uint64_t oldest_ns_ = 0;
 };
 

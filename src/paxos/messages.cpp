@@ -4,6 +4,35 @@
 
 namespace mcsmr::paxos {
 
+namespace {
+
+/// Version marker of the classified (v2) batch encoding. Unambiguous as a
+/// leading u32: a v1 batch starting with count 0xFFFFFFFF would need
+/// >= 85 GB of request bytes to decode, far past any real value, so the
+/// marker can never collide with an accepted v1 input.
+constexpr std::uint32_t kClassifiedBatchMagic = 0xFFFFFFFFu;
+
+RequestClass decode_footprint(ByteReader& reader) {
+  RequestClass cls;
+  const std::uint8_t flags = reader.u8();
+  // Canonical codec: only the two flag bits the encoder emits are valid.
+  if (flags > 3) throw DecodeError("non-canonical footprint flags");
+  cls.read_only = (flags & 1) != 0;
+  cls.global = (flags & 2) != 0;
+  const std::uint16_t key_count = reader.u16();
+  cls.keys.reserve(std::min<std::size_t>(key_count, reader.remaining() / 8));
+  for (std::uint16_t i = 0; i < key_count; ++i) cls.keys.push_back(reader.u64());
+  return cls;
+}
+
+void encode_footprint(ByteWriter& writer, const RequestClass& cls) {
+  writer.u8(static_cast<std::uint8_t>((cls.read_only ? 1 : 0) | (cls.global ? 2 : 0)));
+  writer.u16(static_cast<std::uint16_t>(cls.keys.size()));
+  for (const std::uint64_t key : cls.keys) writer.u64(key);
+}
+
+}  // namespace
+
 Bytes encode_batch(const std::vector<Request>& requests) {
   std::size_t size = 4;
   for (const auto& request : requests) size += request.encoded_size();
@@ -13,17 +42,50 @@ Bytes encode_batch(const std::vector<Request>& requests) {
   return writer.take();
 }
 
-std::vector<Request> decode_batch(const Bytes& value) {
+Bytes encode_classified_batch(const std::vector<Request>& requests,
+                              const std::vector<RequestClass>& classes) {
+  std::size_t size = 8;
+  for (const auto& request : requests) size += request.encoded_size();
+  for (const auto& cls : classes) size += cls.encoded_size();
+  ByteWriter writer(size);
+  writer.u32(kClassifiedBatchMagic);
+  writer.u32(static_cast<std::uint32_t>(requests.size()));
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    requests[i].encode(writer);
+    encode_footprint(writer, classes[i]);
+  }
+  return writer.take();
+}
+
+DecodedBatch decode_any_batch(const Bytes& value) {
   ByteReader reader(value);
-  const std::uint32_t count = reader.u32();
-  std::vector<Request> requests;
-  // Clamp the reservation to what the input could actually hold (each
-  // request is >= 20 bytes encoded) so a hostile count can't force a
-  // multi-gigabyte allocation before the truncation check fires.
-  requests.reserve(std::min<std::size_t>(count, reader.remaining() / 20));
-  for (std::uint32_t i = 0; i < count; ++i) requests.push_back(Request::decode(reader));
+  DecodedBatch batch;
+  const std::uint32_t head = reader.u32();
+  if (head == kClassifiedBatchMagic) {
+    batch.classified = true;
+    const std::uint32_t count = reader.u32();
+    // Clamp the reservations to what the input could actually hold (a
+    // classified request is >= 23 bytes encoded) so a hostile count can't
+    // force a multi-gigabyte allocation before the truncation check fires.
+    const std::size_t cap = std::min<std::size_t>(count, reader.remaining() / 23);
+    batch.requests.reserve(cap);
+    batch.classes.reserve(cap);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      batch.requests.push_back(Request::decode(reader));
+      batch.classes.push_back(decode_footprint(reader));
+    }
+  } else {
+    const std::uint32_t count = head;
+    // v1: >= 20 bytes per encoded request; same hostile-count rationale.
+    batch.requests.reserve(std::min<std::size_t>(count, reader.remaining() / 20));
+    for (std::uint32_t i = 0; i < count; ++i) batch.requests.push_back(Request::decode(reader));
+  }
   if (!reader.at_end()) throw DecodeError("trailing bytes after batch");
-  return requests;
+  return batch;
+}
+
+std::vector<Request> decode_batch(const Bytes& value) {
+  return decode_any_batch(value).requests;
 }
 
 namespace {

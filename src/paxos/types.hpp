@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/config.hpp"
@@ -45,9 +46,57 @@ struct Request {
   std::size_t encoded_size() const { return 8 + 8 + 4 + payload.size(); }
 };
 
+/// Conflict classification of one request (Marandi/Alchieri-style
+/// dependency tracking). Two requests CONFLICT — and must execute in
+/// decided order — iff
+///   * either is `global` (touches state the keys cannot name), or
+///   * they share a key and at least one of them is not read_only.
+/// Key hashes only ever group requests for scheduling: a hash collision
+/// over-serializes (safe), never under-serializes, so any deterministic
+/// per-process hash works.
+///
+/// Lives in the paxos layer because classification travels INSIDE the
+/// batch encoding (early scheduling, Alchieri et al.): the leader's
+/// Batcher classifies at batch-build time and every replica's executor
+/// reuses the carried footprints instead of re-classifying post-decide.
+struct RequestClass {
+  std::vector<std::uint64_t> keys;  ///< hashes of the state keys touched
+  bool read_only = false;           ///< does not mutate any named key
+  bool global = true;               ///< conflicts with everything (safe default)
+
+  bool operator==(const RequestClass&) const = default;
+
+  static RequestClass conflict_free() { return {{}, false, false}; }
+  static RequestClass read(std::uint64_t key) { return {{key}, true, false}; }
+  static RequestClass write(std::uint64_t key) { return {{key}, false, false}; }
+
+  /// Serialized footprint: u8 flags | u16 key_count | key_count * u64.
+  std::size_t encoded_size() const { return 1 + 2 + 8 * keys.size(); }
+};
+
 /// Encode a batch (the value ordered by one consensus instance).
 Bytes encode_batch(const std::vector<Request>& requests);
-/// Decode a batch; throws DecodeError on malformed input.
+/// Decode a batch; throws DecodeError on malformed input. Accepts both
+/// the v1 and the classified (v2) encoding, discarding footprints.
 std::vector<Request> decode_batch(const Bytes& value);
+
+/// Encode a classified batch (v2): the requests plus their conflict
+/// footprints, so replicas schedule without re-running classify().
+/// `classes.size()` must equal `requests.size()`.
+Bytes encode_classified_batch(const std::vector<Request>& requests,
+                              const std::vector<RequestClass>& classes);
+
+/// A decoded batch of either encoding. `classified` records which one the
+/// wire carried (v1 batches leave `classes` empty); re-encoding through
+/// the matching encoder reproduces the input byte-for-byte.
+struct DecodedBatch {
+  std::vector<Request> requests;
+  std::vector<RequestClass> classes;
+  bool classified = false;
+};
+
+/// Decode a batch of either encoding; throws DecodeError on malformed
+/// input (non-canonical flags, truncated footprints, trailing bytes).
+DecodedBatch decode_any_batch(const Bytes& value);
 
 }  // namespace mcsmr::paxos

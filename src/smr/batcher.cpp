@@ -3,9 +3,9 @@
 namespace mcsmr::smr {
 
 Batcher::Batcher(const Config& config, RequestQueue& requests, ProposalQueue& proposals,
-                 DispatcherQueue& dispatcher, SharedState& shared)
+                 DispatcherQueue& dispatcher, SharedState& shared, const Service* classifier)
     : config_(config), requests_(requests), proposals_(proposals), dispatcher_(dispatcher),
-      shared_(shared) {}
+      shared_(shared), classifier_(classifier) {}
 
 Batcher::~Batcher() { stop(); }
 
@@ -32,6 +32,10 @@ bool Batcher::ship(Bytes batch) {
 
 void Batcher::run() {
   paxos::BatchBuilder builder(config_.batch_max_bytes, config_.batch_timeout_ns);
+  if (classifier_ != nullptr) {
+    builder.set_classifier(
+        [service = classifier_](const Bytes& payload) { return service->classify(payload); });
+  }
   for (;;) {
     std::optional<paxos::Request> request;
     if (auto deadline = builder.deadline_ns()) {

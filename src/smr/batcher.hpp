@@ -10,19 +10,30 @@
 // in execution through a shared atomic (the "volatile variable"): when the
 // pipeline has room and nothing is queued ahead, a partial batch is closed
 // early instead of waiting out its timeout, keeping the window full.
+//
+// Early scheduling: when a classifier Service is supplied (affinity
+// executor), the Batcher classifies each request here — off every
+// post-decide critical path — and the builder emits the classified batch
+// encoding, so footprints ride the consensus value to all replicas.
 #pragma once
 
 #include "metrics/thread_stats.hpp"
 #include "paxos/batch_builder.hpp"
 #include "smr/events.hpp"
+#include "smr/service.hpp"
 #include "smr/shared_state.hpp"
 
 namespace mcsmr::smr {
 
 class Batcher {
  public:
+  /// `classifier` (optional): a Service whose classify() runs at
+  /// batch-build time. Null keeps the v1 byte-identical batch encoding.
+  /// classify() must be pure (no service state) — it runs on the Batcher
+  /// thread, concurrently with execution.
   Batcher(const Config& config, RequestQueue& requests, ProposalQueue& proposals,
-          DispatcherQueue& dispatcher, SharedState& shared);
+          DispatcherQueue& dispatcher, SharedState& shared,
+          const Service* classifier = nullptr);
   ~Batcher();
 
   void start();
@@ -44,6 +55,7 @@ class Batcher {
   ProposalQueue& proposals_;
   DispatcherQueue& dispatcher_;
   SharedState& shared_;
+  const Service* classifier_;
 
   std::atomic<std::uint64_t> batches_built_{0};
   metrics::NamedThread thread_;

@@ -34,7 +34,11 @@ Replica::Partition::Partition(const Config& replica_config, ReplicaId self,
       storage(paxos::make_log_storage(config, self, partition_index)),
       engine(config, self, storage.get()),
       retransmitter(config, PartitionIo(replica_io, partition_index)),
-      batcher(config, request_queue, proposal_queue, dispatcher_queue, shared) {
+      // Affinity executor: the Batcher classifies at build time and ships
+      // the classified batch encoding (`service` is declared before
+      // `batcher` in the Partition struct, so the pointer is live here).
+      batcher(config, request_queue, proposal_queue, dispatcher_queue, shared,
+              config.executor_impl == ExecutorImpl::kAffinity ? service.get() : nullptr) {
   replica_io.register_partition(dispatcher_queue, shared);
 }
 

@@ -2,18 +2,22 @@
 //
 // With the serial executor (the paper's design), execute() is called by
 // exactly one thread (the ServiceManager / "Replica" thread) in
-// decided-instance order on every replica. With the parallel executor
-// (executor_impl=parallel) non-conflicting requests — as declared by
+// decided-instance order on every replica. With the wave executor
+// (executor_impl=parallel) or the affinity executor
+// (executor_impl=affinity) non-conflicting requests — as declared by
 // classify() — may execute concurrently on worker threads, so execute()
-// must be internally thread-safe; the scheduler guarantees that requests
+// must be internally thread-safe; both schedulers guarantee that requests
 // whose classifications conflict never overlap and always run in decided
 // order, which keeps the externally observable state machine
-// deterministic. snapshot()/install() support state transfer to lagging
-// replicas and are only invoked at quiesce points (no execute() in
-// flight), but tests and benches probe them cross-thread, hence the
-// internal guards.
+// deterministic. The affinity executor additionally executes different
+// instances concurrently, so it calls execute_at() (instance as an
+// argument) instead of note_instance()+execute(). snapshot()/install()
+// support state transfer to lagging replicas and are only invoked at
+// quiesce points (no execute() in flight), but tests and benches probe
+// them cross-thread, hence the internal guards.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -21,29 +25,18 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "paxos/types.hpp"
 
 namespace mcsmr::smr {
 
-/// Conflict classification of one request (Marandi/Alchieri-style
-/// dependency tracking). Two requests CONFLICT — and must execute in
-/// decided order — iff
-///   * either is `global` (touches state the keys cannot name), or
-///   * they share a key and at least one of them is not read_only.
-/// Key hashes only ever group requests for scheduling: a hash collision
-/// over-serializes (safe), never under-serializes, so any deterministic
-/// per-process hash works.
-struct RequestClass {
-  std::vector<std::uint64_t> keys;  ///< hashes of the state keys touched
-  bool read_only = false;           ///< does not mutate any named key
-  bool global = true;               ///< conflicts with everything (safe default)
-
-  static RequestClass conflict_free() { return {{}, false, false}; }
-  static RequestClass read(std::uint64_t key) { return {{key}, true, false}; }
-  static RequestClass write(std::uint64_t key) { return {{key}, false, false}; }
-};
+/// Conflict classification of one request. Defined in paxos/types.hpp
+/// (the footprint travels inside the classified batch encoding); aliased
+/// here because services author it via Service::classify().
+using RequestClass = paxos::RequestClass;
 
 /// The one key-placement function of the partitioned replica: which shard
 /// owns the state behind `key_hash` when the service is split over
@@ -83,6 +76,17 @@ class Service {
 
   /// Apply one request; the returned bytes are sent to the client.
   virtual Bytes execute(const Bytes& request) = 0;
+
+  /// Apply one request, naming the consensus instance that decided it.
+  /// The affinity executor calls THIS entry point: its workers execute
+  /// different instances concurrently, so a shared note_instance() stamp
+  /// would race. Services that use note_instance() state inside execute()
+  /// must override execute_at() to take the instance from the argument
+  /// instead (KvService does); the default simply ignores it, which is
+  /// correct for instance-oblivious services.
+  virtual Bytes execute_at(const Bytes& request, std::uint64_t /*instance*/) {
+    return execute(request);
+  }
 
   /// Announce the decided instance whose batch is about to execute (called
   /// by the ServiceManager before dispatching the batch). Versioned
@@ -152,6 +156,11 @@ class KvService : public Service {
   enum class Op : std::uint8_t { kPut = 1, kGet = 2, kDel = 3, kCas = 4 };
 
   Bytes execute(const Bytes& request) override;
+  /// The affinity-executor entry point: workers of different instances run
+  /// concurrently, so the version to stamp must come from the argument,
+  /// not the shared note_instance() cell. execute() delegates here with
+  /// the noted instance — the serial path is byte-identical either way.
+  Bytes execute_at(const Bytes& request, std::uint64_t instance) override;
   /// Versioned store: every written key records the Paxos instance that
   /// last wrote it. The version is decided-sequence state (identical on
   /// every replica), so it travels in snapshots.
@@ -164,10 +173,7 @@ class KvService : public Service {
   Bytes snapshot() const override;
   void install(const Bytes& state) override;
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> guard(mu_);
-    return map_.size();
-  }
+  std::size_t size() const;
 
   /// A value together with the instance that last wrote its key. Served
   /// by the lease read path and probed by staleness tests.
@@ -175,13 +181,7 @@ class KvService : public Service {
     Bytes value;
     std::uint64_t version = 0;
   };
-  std::optional<VersionedValue> versioned_get(const std::string& key) const {
-    std::lock_guard<std::mutex> guard(mu_);
-    if (auto it = map_.find(key); it != map_.end()) {
-      return VersionedValue{it->second.value, it->second.version};
-    }
-    return std::nullopt;
-  }
+  std::optional<VersionedValue> versioned_get(const std::string& key) const;
 
   // Client-side encoders.
   static Bytes make_put(const std::string& key, const Bytes& value);
@@ -196,12 +196,23 @@ class KvService : public Service {
     Bytes value;
     std::uint64_t version = 0;  ///< instance of the last write to this key
   };
-  // execute() calls may overlap under the parallel executor (the scheduler
-  // only serializes same-key writes), and tests/benches observe
-  // snapshot()/size() from other threads while the cluster runs; the
-  // guard makes both race-free (TSan job covers it).
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> map_;
+  // The store is lock-striped by key hash: under the affinity executor
+  // each worker owns a hash slice of the key space, so worker-path stripe
+  // acquisitions are effectively uncontended — the mutexes remain because
+  // lease reads (versioned_get) and test/bench probes (size, snapshot)
+  // still read cross-thread while workers write (TSan job covers it).
+  // A request's keys never span stripes (one key per KV op), so per-stripe
+  // locking cannot deadlock and never weakens the scheduler's ordering.
+  struct Stripe {
+    mutable std::mutex mu;
+    std::map<std::string, Entry> map;
+  };
+  static constexpr std::size_t kStripes = 16;
+  const Stripe& stripe_for(const std::string& key) const;
+  Stripe& stripe_for(const std::string& key) {
+    return const_cast<Stripe&>(std::as_const(*this).stripe_for(key));
+  }
+  std::array<Stripe, kStripes> stripes_;
   // Written by the ServiceManager before each batch, read inside execute()
   // (possibly on an executor worker). Relaxed is enough: the scheduler's
   // queue hand-off orders the store before any execute() of that batch.

@@ -15,6 +15,9 @@ ServiceManager::ServiceManager(const Config& config, DecisionQueue& decisions,
       hooks_(std::move(hooks)) {
   if (config_.executor_impl == ExecutorImpl::kParallel) {
     executor_ = std::make_unique<ParallelExecutor>(config_, service_);
+  } else if (config_.executor_impl == ExecutorImpl::kAffinity) {
+    affinity_ = std::make_unique<AffinityExecutor>(config_, service_, reply_cache_, client_io_,
+                                                   shared_);
   }
 }
 
@@ -24,6 +27,7 @@ void ServiceManager::start() {
   if (started_) return;
   started_ = true;
   if (executor_) executor_->start();
+  if (affinity_) affinity_->start();
   // The paper labels this thread "Replica" in its per-thread figures.
   thread_ = metrics::NamedThread(config_.thread_name_prefix + "Replica", [this] { run(); });
 }
@@ -35,6 +39,10 @@ void ServiceManager::stop() {
   // worker pool shuts down.
   thread_.join();
   if (executor_) executor_->stop();
+  // Join order matters: with the SM thread gone, every task of every
+  // submitted batch — including all markers of every rendezvous — is
+  // already in the rings, so close-and-drain retires them all.
+  if (affinity_) affinity_->stop();
   started_ = false;
 }
 
@@ -63,7 +71,11 @@ void ServiceManager::run() {
 
 void ServiceManager::maybe_help_barrier() {
   if (hooks_.barrier != nullptr && hooks_.barrier->quiesce_requested()) {
+    // A cycle reads (capture) or rewrites (install) this shard's service
+    // state: park the affinity workers for its duration.
+    if (affinity_) affinity_->quiesce();
     hooks_.barrier->help(hooks_.index);
+    if (affinity_) affinity_->resume();
   }
 }
 
@@ -80,9 +92,9 @@ bool ServiceManager::wait_cross_partition(const paxos::Request& request) {
 }
 
 void ServiceManager::execute_batch(paxos::InstanceId instance, const Bytes& batch) {
-  std::vector<paxos::Request> requests;
+  paxos::DecodedBatch decoded;
   try {
-    requests = paxos::decode_batch(batch);
+    decoded = paxos::decode_any_batch(batch);
   } catch (const DecodeError& error) {
     LOG_ERROR << "undecodable batch at instance " << instance << ": " << error.what()
               << "; skipping its requests but counting the instance";
@@ -96,11 +108,25 @@ void ServiceManager::execute_batch(paxos::InstanceId instance, const Bytes& batc
   // decided sequence is identical on every replica, so the stamps are too
   // (a cross-partition request executes with every shard parked at the
   // batch holding that request in its own stream — still deterministic).
+  // Affinity workers don't read this cell (they get the instance as an
+  // execute_at argument); the stamp still feeds the cross-partition
+  // execute_global path, which runs on an SM thread at a barrier cycle.
   service_.note_instance(instance);
-  if (executor_) {
-    execute_parallel(requests);
+  if (affinity_) {
+    if (!decoded.classified) {
+      // v1 batch — an old leader's proposal or an engine-generated no-op.
+      // classify() is pure and deterministic, so classifying here yields
+      // exactly the footprints the batcher would have embedded.
+      decoded.classes.reserve(decoded.requests.size());
+      for (const auto& request : decoded.requests) {
+        decoded.classes.push_back(service_.classify(request.payload));
+      }
+    }
+    execute_affinity(instance, decoded.requests, decoded.classes);
+  } else if (executor_) {
+    execute_parallel(decoded.requests);
   } else {
-    execute_serial(requests);
+    execute_serial(decoded.requests);
   }
   mark_instance_consumed(instance);
 }
@@ -116,6 +142,14 @@ void ServiceManager::mark_instance_consumed(paxos::InstanceId instance) {
   const std::uint64_t next = instance + 1;
   if (executed_instances_.load(std::memory_order_relaxed) < next) {
     executed_instances_.store(next, std::memory_order_relaxed);
+    if (affinity_) {
+      // Affinity mode: execution is still in flight on the workers, so
+      // this thread may not publish the frontier itself. A token in every
+      // ring advances it once ALL workers are past this instance (the
+      // lease read path acquires the frontier, then reads service state).
+      affinity_->publish_frontier(instance);
+      return;
+    }
     // Release-publish AFTER the batch's effects are in the service: the
     // lease read path acquires the frontier, then reads service state.
     shared_.executed_frontier.store(next, std::memory_order_release);
@@ -184,6 +218,50 @@ void ServiceManager::execute_parallel(const std::vector<paxos::Request>& request
   run_parallel_segment(todo);
 }
 
+void ServiceManager::execute_affinity(paxos::InstanceId instance,
+                                      std::vector<paxos::Request>& requests,
+                                      const std::vector<RequestClass>& classes) {
+  // Dedup BEFORE dispatch, like the parallel path — but against
+  // enqueued_seq_, not the reply cache: workers update the cache as they
+  // finish, so it lags what this thread has already routed.
+  std::vector<paxos::Request> todo;
+  std::vector<RequestClass> todo_classes;
+  todo.reserve(requests.size());
+  todo_classes.reserve(requests.size());
+  const auto flush = [&] {
+    if (todo.empty()) return;
+    affinity_->submit(instance, std::move(todo), std::move(todo_classes));
+    todo.clear();
+    todo_classes.clear();
+  };
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    paxos::Request& request = requests[i];
+    auto [it, inserted] = enqueued_seq_.try_emplace(request.client_id, 0);
+    if (!inserted && request.seq <= it->second) continue;  // double-decide
+    if (reply_cache_.executed(request.client_id, request.seq)) {
+      // A manifest install fast-forwarded past this request on another
+      // replica's state: the cache knows more than the dispatch map.
+      it->second = std::max(it->second, request.seq);
+      continue;
+    }
+    it->second = request.seq;
+    if (cross_partition(request)) {
+      // Barrier rendezvous across pipelines: drain this pipeline's
+      // workers first so the cycle sees the shard quiesced exactly at
+      // this request, then let them stream again.
+      flush();
+      affinity_->quiesce();
+      const bool alive = wait_cross_partition(request);
+      affinity_->resume();
+      if (!alive) return;  // shutting down
+      continue;
+    }
+    todo.push_back(std::move(request));
+    todo_classes.push_back(classes[i]);
+  }
+  flush();
+}
+
 void ServiceManager::maybe_snapshot(paxos::InstanceId instance) {
   if (config_.snapshot_interval_instances == 0) return;
   if ((instance + 1) % config_.snapshot_interval_instances != 0) return;
@@ -193,13 +271,17 @@ void ServiceManager::maybe_snapshot(paxos::InstanceId instance) {
     // every pipeline quiesced. Partition 0's instance count is the sole
     // trigger so one interval yields one manifest, not P of them.
     if (hooks_.index == 0 && hooks_.capture) {
+      if (affinity_) affinity_->quiesce();
       hooks_.barrier->quiesce(hooks_.index, hooks_.capture);
+      if (affinity_) affinity_->resume();
     }
     return;
   }
 
-  // Batch-boundary quiesce point: execute_batch has returned, so no
-  // execute() is in flight on any executor worker.
+  // Batch-boundary quiesce point: execute_batch has returned, so in wave
+  // mode no execute() is in flight on any worker. Affinity workers stream
+  // across batches, so they must be parked explicitly for the capture.
+  if (affinity_) affinity_->quiesce();
   auto snapshot = std::make_shared<paxos::SnapshotData>();
   snapshot->next_instance = instance + 1;
   snapshot->state = paxos::shared_state_bytes(service_.snapshot());
@@ -208,16 +290,23 @@ void ServiceManager::maybe_snapshot(paxos::InstanceId instance) {
     std::lock_guard<std::mutex> guard(snapshot_mu_);
     latest_snapshot_ = std::move(snapshot);
   }
+  if (affinity_) affinity_->resume();
   // Tell the Protocol thread it may prune the log below this point.
   dispatcher_.try_push(LocalSnapshotEvent{instance + 1});
 }
 
 void ServiceManager::handle_install(const SnapshotInstallEvent& event) {
   if (hooks_.barrier == nullptr) {
+    // Park the affinity workers across the state swap: the direct frontier
+    // store below is only race-free with no token in flight (CAS-max on
+    // the shared frontier can't regress, but the slots could republish a
+    // stale minimum mid-install).
+    if (affinity_) affinity_->quiesce();
     service_.install(event.state);
     reply_cache_.install(event.reply_cache);
     executed_instances_.store(event.next_instance, std::memory_order_relaxed);
     shared_.executed_frontier.store(event.next_instance, std::memory_order_release);
+    if (affinity_) affinity_->resume();
     return;
   }
   // Partitioned: the offer carries a whole-replica manifest; install it
@@ -226,7 +315,9 @@ void ServiceManager::handle_install(const SnapshotInstallEvent& event) {
   // InstallSnapshot after a sibling-driven install) is dropped here.
   if (event.next_instance <= executed_instances_.load(std::memory_order_relaxed)) return;
   if (hooks_.install) {
+    if (affinity_) affinity_->quiesce();
     hooks_.barrier->quiesce(hooks_.index, [this, &event] { hooks_.install(event); });
+    if (affinity_) affinity_->resume();
   }
 }
 

@@ -17,6 +17,18 @@
 //              order, so the per-ClientIO reply rings keep their single
 //              producer, and snapshots are taken only between batches
 //              (quiesced — no execute() in flight).
+//   affinity — early-scheduled per-key worker affinity: batches arrive
+//              with classification footprints embedded (v2 encoding, see
+//              paxos/messages.cpp), so this thread only dedups and routes
+//              each request to its owning worker's ring — no classify(),
+//              no wave barrier, no reply hand-off. Workers execute and
+//              reply; the executed frontier advances through per-worker
+//              tokens (AffinityExecutor::publish_frontier). Snapshots,
+//              installs and cross-partition barriers quiesce the workers
+//              explicitly (quiesce()/resume()). v1 batches (an old
+//              leader, recovery no-ops) are classified here as a
+//              fallback — classify() is deterministic, so the result
+//              matches what the batcher would have embedded.
 //
 // Partitioned replicas (num_partitions > 1) run one ServiceManager per
 // pipeline over that pipeline's shard. The PartitionHooks wire in the
@@ -36,6 +48,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 
 #include "metrics/thread_stats.hpp"
 #include "paxos/engine.hpp"
@@ -91,6 +104,8 @@ class ServiceManager {
 
   /// The parallel executor, if one is configured (benches/tests).
   const ParallelExecutor* executor() const { return executor_.get(); }
+  /// The affinity executor, if one is configured (benches/tests).
+  const AffinityExecutor* affinity_executor() const { return affinity_.get(); }
 
  private:
   void run();
@@ -100,6 +115,8 @@ class ServiceManager {
   void mark_instance_consumed(paxos::InstanceId instance);
   void execute_serial(const std::vector<paxos::Request>& requests);
   void execute_parallel(const std::vector<paxos::Request>& requests);
+  void execute_affinity(paxos::InstanceId instance, std::vector<paxos::Request>& requests,
+                        const std::vector<RequestClass>& classes);
   void run_parallel_segment(std::vector<const paxos::Request*>& todo);
   void maybe_snapshot(paxos::InstanceId instance);
   void handle_install(const SnapshotInstallEvent& event);
@@ -121,7 +138,13 @@ class ServiceManager {
   SharedState& shared_;
   PartitionHooks hooks_;
 
-  std::unique_ptr<ParallelExecutor> executor_;  ///< null when serial
+  std::unique_ptr<ParallelExecutor> executor_;  ///< null unless kParallel
+  std::unique_ptr<AffinityExecutor> affinity_;  ///< null unless kAffinity
+  /// Affinity dedup state (this thread only): highest seq dispatched per
+  /// client. The reply cache lags execution in affinity mode (workers
+  /// update it), so the pre-dispatch duplicate check can't rely on it —
+  /// the cache is consulted only for what an install fast-forwarded.
+  std::unordered_map<std::uint64_t, std::uint64_t> enqueued_seq_;
 
   std::atomic<std::uint64_t> executed_instances_{0};
 

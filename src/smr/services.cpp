@@ -54,41 +54,55 @@ Bytes kv_reply(std::uint8_t status, const Bytes& result) {
 }
 }  // namespace
 
+const KvService::Stripe& KvService::stripe_for(const std::string& key) const {
+  // Mix before reducing: std::hash is commonly the identity on short
+  // strings' low bits, and a plain modulo would correlate with key
+  // generation patterns (same rationale as partition_of_key).
+  const std::uint64_t mixed = key_hash(key) * 0x9E3779B97F4A7C15ull;
+  return stripes_[(mixed >> 32) % kStripes];
+}
+
 Bytes KvService::execute(const Bytes& request) {
-  std::lock_guard<std::mutex> guard(mu_);
-  const std::uint64_t version = current_instance_.load(std::memory_order_relaxed);
+  return execute_at(request, current_instance_.load(std::memory_order_relaxed));
+}
+
+Bytes KvService::execute_at(const Bytes& request, std::uint64_t instance) {
+  const std::uint64_t version = instance;
   try {
     ByteReader reader(request);
     const auto op = static_cast<Op>(reader.u8());
     std::string key = reader.str();
+    Stripe& stripe = stripe_for(key);
+    std::lock_guard<std::mutex> guard(stripe.mu);
+    auto& map = stripe.map;
     switch (op) {
       case Op::kPut: {
         Bytes value = reader.bytes();
         Bytes old;
-        if (auto it = map_.find(key); it != map_.end()) old = it->second.value;
-        map_[key] = Entry{std::move(value), version};
+        if (auto it = map.find(key); it != map.end()) old = it->second.value;
+        map[key] = Entry{std::move(value), version};
         return kv_reply(0, old);
       }
       case Op::kGet: {
-        if (auto it = map_.find(key); it != map_.end()) return kv_reply(0, it->second.value);
+        if (auto it = map.find(key); it != map.end()) return kv_reply(0, it->second.value);
         return kv_reply(0, {});
       }
       case Op::kDel: {
         Bytes old;
-        if (auto it = map_.find(key); it != map_.end()) {
+        if (auto it = map.find(key); it != map.end()) {
           old = std::move(it->second.value);
-          map_.erase(it);
+          map.erase(it);
         }
         return kv_reply(0, old);
       }
       case Op::kCas: {
         Bytes expected = reader.bytes();
         Bytes desired = reader.bytes();
-        auto it = map_.find(key);
-        const Bytes current = it != map_.end() ? it->second.value : Bytes{};
+        auto it = map.find(key);
+        const Bytes current = it != map.end() ? it->second.value : Bytes{};
         Bytes result(1, 0);
         if (current == expected) {
-          map_[key] = Entry{std::move(desired), version};
+          map[key] = Entry{std::move(desired), version};
           result[0] = 1;
         }
         return kv_reply(0, result);
@@ -116,11 +130,37 @@ RequestClass KvService::classify(const Bytes& request) const {
   return RequestClass{};  // malformed / unknown op: serialize (global)
 }
 
+std::size_t KvService::size() const {
+  std::size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> guard(stripe.mu);
+    total += stripe.map.size();
+  }
+  return total;
+}
+
+std::optional<KvService::VersionedValue> KvService::versioned_get(const std::string& key) const {
+  const Stripe& stripe = stripe_for(key);
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  if (auto it = stripe.map.find(key); it != stripe.map.end()) {
+    return VersionedValue{it->second.value, it->second.version};
+  }
+  return std::nullopt;
+}
+
 Bytes KvService::snapshot() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  // Merge the stripes into one globally key-sorted stream so the encoding
+  // is identical no matter how keys landed on stripes — snapshots (and the
+  // state manifests built from them) are compared byte-for-byte across
+  // executors and replicas.
+  std::map<std::string, Entry> merged;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> guard(stripe.mu);
+    for (const auto& [key, entry] : stripe.map) merged.emplace(key, entry);
+  }
   ByteWriter writer;
-  writer.u64(map_.size());
-  for (const auto& [key, entry] : map_) {
+  writer.u64(merged.size());
+  for (const auto& [key, entry] : merged) {
     writer.str(key);
     writer.bytes(entry.value);
     writer.u64(entry.version);
@@ -129,8 +169,10 @@ Bytes KvService::snapshot() const {
 }
 
 void KvService::install(const Bytes& state) {
-  std::lock_guard<std::mutex> guard(mu_);
-  map_.clear();
+  for (auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> guard(stripe.mu);
+    stripe.map.clear();
+  }
   ByteReader reader(state);
   const std::uint64_t count = reader.u64();
   for (std::uint64_t i = 0; i < count; ++i) {
@@ -138,7 +180,9 @@ void KvService::install(const Bytes& state) {
     Entry entry;
     entry.value = reader.bytes();
     entry.version = reader.u64();
-    map_[std::move(key)] = std::move(entry);
+    Stripe& stripe = stripe_for(key);
+    std::lock_guard<std::mutex> guard(stripe.mu);
+    stripe.map[std::move(key)] = std::move(entry);
   }
 }
 

@@ -1,5 +1,6 @@
 #include "smr/sim_client_io.hpp"
 
+#include "common/affinity.hpp"
 #include "common/logging.hpp"
 
 namespace mcsmr::smr {
@@ -21,9 +22,12 @@ SimClientIo::SimClientIo(const Config& config, net::SimNetwork& net, net::NodeId
   if (ring_replies_) {
     // Single pipeline: the ServiceManager thread is the only producer of
     // IO thread t's ring (SPSC). Partitioned: every pipeline's Service
-    // Manager produces, so the ring goes multi-producer.
-    const QueueBackend backend =
-        backend_for(config.queue_impl, /*fan_in=*/config.num_partitions > 1);
+    // Manager produces, so the ring goes multi-producer — as does the
+    // affinity executor, whose workers reply directly.
+    const QueueBackend backend = backend_for(
+        config.queue_impl,
+        /*fan_in=*/config.num_partitions > 1 ||
+            config.executor_impl == ExecutorImpl::kAffinity);
     for (int t = 0; t < io_threads_; ++t) {
       reply_queues_.push_back(std::make_unique<PipelineQueue<ClientReplyFrame>>(
           backend, config.reply_queue_cap,
@@ -69,6 +73,9 @@ void SimClientIo::drain_replies(int thread_index) {
 }
 
 void SimClientIo::io_loop(int thread_index) {
+  // Opt-in thread affinity (§V-A suggests dedicating cores to IO): one
+  // core per IO thread, round-robin; no-op on single-core hosts.
+  if (config_.pin_io_threads) pin_current_thread(thread_index);
   const net::Channel channel = kClientIoChannelBase + static_cast<net::Channel>(thread_index);
   while (auto message = net_.recv(self_node_, channel)) {
     if (message->payload.empty()) {

@@ -7,6 +7,7 @@
 
 #include <cerrno>
 
+#include "common/affinity.hpp"
 #include "common/logging.hpp"
 
 namespace mcsmr::smr {
@@ -29,9 +30,12 @@ TcpClientIo::TcpClientIo(const Config& config, std::uint16_t port,
   conns_.resize(static_cast<std::size_t>(io_threads_));
   // Single pipeline: the ServiceManager thread is the only producer of a
   // loop's ring (SPSC). Partitioned: every pipeline's ServiceManager
-  // produces, so the ring goes multi-producer.
-  const QueueBackend backend =
-      backend_for(config.queue_impl, /*fan_in=*/config.num_partitions > 1);
+  // produces, so the ring goes multi-producer — as does the affinity
+  // executor, whose workers reply directly.
+  const QueueBackend backend = backend_for(
+      config.queue_impl,
+      /*fan_in=*/config.num_partitions > 1 ||
+          config.executor_impl == ExecutorImpl::kAffinity);
   for (int t = 0; t < io_threads_; ++t) {
     loops_.push_back(std::make_unique<net::EventLoop>());
     if (ring_replies_) {
@@ -50,7 +54,12 @@ void TcpClientIo::start() {
   started_ = true;
   for (int t = 0; t < io_threads_; ++t) {
     threads_.emplace_back(config_.thread_name_prefix + "ClientIO-" + std::to_string(t),
-                          [this, t] { loops_[static_cast<std::size_t>(t)]->run(); });
+                          [this, t] {
+                            // Opt-in thread affinity (§V-A): one core per
+                            // IO thread; no-op on single-core hosts.
+                            if (config_.pin_io_threads) pin_current_thread(t);
+                            loops_[static_cast<std::size_t>(t)]->run();
+                          });
   }
   accept_thread_ = metrics::NamedThread(config_.thread_name_prefix + "ClientIOAccept",
                                         [this] { accept_loop(); });

@@ -73,9 +73,9 @@ BenchArgs test_args(std::vector<std::string> argv_strings) {
 }
 
 TEST(BenchArgs, ParsesSharedFlagsAndLeavesPassthrough) {
-  std::vector<std::string> argv_strings = {"bench_figtest", "--json",  "--repeat", "3",
-                                           "--budget=7000", "--seed",  "42",       "--smoke",
-                                           "--calibrate",   "--out",   "/tmp/x"};
+  std::vector<std::string> argv_strings = {
+      "bench_figtest", "--json", "--repeat", "3",    "--budget=7000",         "--seed", "42",
+      "--smoke",       "--pin-io", "--calibrate", "--out", "/tmp/x", "--benchmark_list_tests"};
   std::vector<char*> argv;
   for (auto& arg : argv_strings) argv.push_back(arg.data());
   argv.push_back(nullptr);
@@ -88,11 +88,13 @@ TEST(BenchArgs, ParsesSharedFlagsAndLeavesPassthrough) {
   EXPECT_EQ(args.seed, 42u);
   EXPECT_TRUE(args.smoke);
   EXPECT_EQ(args.out, "/tmp/x");
-  EXPECT_TRUE(args.flag("--calibrate"));
+  EXPECT_TRUE(args.pin_io);
+  EXPECT_TRUE(args.calibrate);
+  EXPECT_TRUE(args.flag("--benchmark_list_tests"));
   EXPECT_FALSE(args.flag("--nope"));
   // argv was compacted to argv[0] + passthrough only.
   ASSERT_EQ(argc, 2);
-  EXPECT_STREQ(argv[1], "--calibrate");
+  EXPECT_STREQ(argv[1], "--benchmark_list_tests");
 }
 
 TEST(BenchArgs, OutPathResolution) {

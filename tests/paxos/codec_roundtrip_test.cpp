@@ -50,11 +50,70 @@ TEST(CodecRoundtrip, BatchCorpusIsCanonical) {
   for (const auto& path : corpus_files("decode_batch")) {
     const Bytes input = read_file(path);
     try {
-      EXPECT_EQ(encode_batch(decode_batch(input)), input)
-          << "non-canonical accept: " << path;
+      const DecodedBatch decoded = decode_any_batch(input);
+      const Bytes again = decoded.classified
+                              ? encode_classified_batch(decoded.requests, decoded.classes)
+                              : encode_batch(decoded.requests);
+      EXPECT_EQ(again, input) << "non-canonical accept: " << path;
+      // The request-only view agrees on either encoding (old replicas
+      // call decode_batch on v2 values a new leader proposed).
+      EXPECT_EQ(decode_batch(input), decoded.requests) << path;
     } catch (const DecodeError&) {
     }
   }
+}
+
+TEST(CodecRoundtrip, ClassifiedBatchRoundTrips) {
+  const std::vector<Request> requests = {
+      {1, 1, Bytes{0xA1, 0xA2}}, {2, 7, Bytes{}}, {42, 1000, Bytes(64, 0x5C)}};
+  RequestClass multi = RequestClass::write(11);
+  multi.keys.push_back(22);
+  const std::vector<RequestClass> classes = {RequestClass::read(42),
+                                             RequestClass::conflict_free(), multi};
+  const Bytes wire = encode_classified_batch(requests, classes);
+  const DecodedBatch decoded = decode_any_batch(wire);
+  EXPECT_TRUE(decoded.classified);
+  EXPECT_EQ(decoded.requests, requests);
+  EXPECT_EQ(decoded.classes, classes);
+  EXPECT_EQ(encode_classified_batch(decoded.requests, decoded.classes), wire);
+  // Backward compatibility: the v1 entry point reads the v2 wire too.
+  EXPECT_EQ(decode_batch(wire), requests);
+}
+
+TEST(CodecRoundtrip, PlainBatchDecodesAsUnclassified) {
+  const std::vector<Request> requests = {{5, 9, Bytes{1, 2, 3}}};
+  const Bytes wire = encode_batch(requests);
+  const DecodedBatch decoded = decode_any_batch(wire);
+  EXPECT_FALSE(decoded.classified);
+  EXPECT_EQ(decoded.requests, requests);
+  EXPECT_TRUE(decoded.classes.empty());
+}
+
+TEST(CodecRoundtrip, ClassifiedBatchRejectsNonCanonicalFlags) {
+  const std::vector<Request> requests = {{1, 1, Bytes{}}};
+  Bytes wire = encode_classified_batch(requests, {RequestClass::conflict_free()});
+  // magic u32 + count u32 + client u64 + seq u64 + payload len u32 -> flags.
+  const std::size_t flags_off = 4 + 4 + 8 + 8 + 4;
+  ASSERT_EQ(wire[flags_off], 0);
+  wire[flags_off] = 0x04;  // only bits 0 (read_only) and 1 (global) exist
+  EXPECT_THROW(decode_any_batch(wire), DecodeError);
+}
+
+TEST(CodecRoundtrip, ClassifiedBatchRejectsTruncationAndTrailingBytes) {
+  Bytes wire = encode_classified_batch({{1, 1, Bytes{7}}}, {RequestClass::write(3)});
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_THROW(decode_any_batch(Bytes(wire.begin(), wire.begin() + len)), DecodeError);
+  }
+  wire.push_back(0);
+  EXPECT_THROW(decode_any_batch(wire), DecodeError);
+}
+
+TEST(CodecRoundtrip, ClassifiedHostileKeyCountFailsFast) {
+  Bytes wire = encode_classified_batch({{1, 1, Bytes{}}}, {RequestClass::conflict_free()});
+  // The footprint key count is the trailing u16; make it huge with no keys.
+  wire[wire.size() - 2] = 0xff;
+  wire[wire.size() - 1] = 0xff;
+  EXPECT_THROW(decode_any_batch(wire), DecodeError);
 }
 
 TEST(CodecRoundtrip, RecordCorpusIsCanonical) {
